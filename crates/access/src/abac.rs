@@ -1,0 +1,294 @@
+//! Attribute-based access control with deny-overrides combining.
+//!
+//! ABAC policies decide from *attributes* of the subject, the resource and
+//! the action — e.g. "allow `record.read` when `subject.ward == resource.ward`
+//! and `subject.clearance >= 3`". Healthcare (HIPAA minimum-necessary) and
+//! forensics (stage-gated access) reproductions build on this engine.
+
+use std::collections::BTreeMap;
+
+/// An attribute value: string or integer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Attribute {
+    /// Text attribute.
+    Str(String),
+    /// Numeric attribute (clearance level, stage index…).
+    Int(i64),
+}
+
+impl From<&str> for Attribute {
+    fn from(s: &str) -> Self {
+        Attribute::Str(s.to_string())
+    }
+}
+
+impl From<i64> for Attribute {
+    fn from(v: i64) -> Self {
+        Attribute::Int(v)
+    }
+}
+
+/// A named attribute bag (subject or resource).
+pub type Attributes = BTreeMap<String, Attribute>;
+
+/// Build an attribute bag from pairs.
+pub fn attrs<const N: usize>(pairs: [(&str, Attribute); N]) -> Attributes {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+/// Rule effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Grants the action when conditions match.
+    Allow,
+    /// Forbids the action when conditions match (overrides any allow).
+    Deny,
+}
+
+/// Where a condition reads its left-hand attribute from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Subject attribute.
+    Subject,
+    /// Resource attribute.
+    Resource,
+}
+
+/// A single predicate over attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Attribute equals a constant.
+    Eq(Scope, String, Attribute),
+    /// Attribute differs from a constant.
+    Ne(Scope, String, Attribute),
+    /// Numeric attribute is at least the constant.
+    AtLeast(Scope, String, i64),
+    /// Numeric attribute is at most the constant.
+    AtMost(Scope, String, i64),
+    /// Subject attribute equals the resource attribute of the same name.
+    SameAs(String),
+    /// Attribute exists.
+    Present(Scope, String),
+}
+
+impl Condition {
+    fn eval(&self, subject: &Attributes, resource: &Attributes) -> bool {
+        let pick = |scope: &Scope, key: &str| match scope {
+            Scope::Subject => subject.get(key),
+            Scope::Resource => resource.get(key),
+        };
+        match self {
+            Condition::Eq(s, k, v) => pick(s, k) == Some(v),
+            Condition::Ne(s, k, v) => pick(s, k).is_some_and(|a| a != v),
+            Condition::AtLeast(s, k, v) => {
+                matches!(pick(s, k), Some(Attribute::Int(a)) if a >= v)
+            }
+            Condition::AtMost(s, k, v) => {
+                matches!(pick(s, k), Some(Attribute::Int(a)) if a <= v)
+            }
+            Condition::SameAs(k) => match (subject.get(k), resource.get(k)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+            Condition::Present(s, k) => pick(s, k).is_some(),
+        }
+    }
+}
+
+/// A policy rule: effect + action pattern + conditions (conjunctive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Allow or deny.
+    pub effect: Effect,
+    /// Action this rule governs; `"*"` matches every action.
+    pub action: String,
+    /// All conditions must hold for the rule to fire.
+    pub conditions: Vec<Condition>,
+}
+
+impl Rule {
+    /// Allow rule.
+    pub fn allow(action: &str, conditions: Vec<Condition>) -> Self {
+        Self {
+            effect: Effect::Allow,
+            action: action.to_string(),
+            conditions,
+        }
+    }
+
+    /// Deny rule.
+    pub fn deny(action: &str, conditions: Vec<Condition>) -> Self {
+        Self {
+            effect: Effect::Deny,
+            action: action.to_string(),
+            conditions,
+        }
+    }
+
+    fn matches(&self, action: &str, subject: &Attributes, resource: &Attributes) -> bool {
+        (self.action == "*" || self.action == action)
+            && self.conditions.iter().all(|c| c.eval(subject, resource))
+    }
+}
+
+/// Access decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Granted by an allow rule, with no deny firing.
+    Permit,
+    /// Refused: a deny rule fired, or no allow rule matched.
+    Deny,
+}
+
+/// An ordered rule set evaluated with deny-overrides semantics.
+#[derive(Debug, Clone, Default)]
+pub struct AbacPolicy {
+    rules: Vec<Rule>,
+}
+
+impl AbacPolicy {
+    /// Build from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Self { rules }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules exist (default-deny).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluate: any matching deny ⇒ [`Decision::Deny`]; otherwise any
+    /// matching allow ⇒ [`Decision::Permit`]; otherwise default-deny.
+    pub fn evaluate(&self, action: &str, subject: &Attributes, resource: &Attributes) -> Decision {
+        let mut allowed = false;
+        for rule in &self.rules {
+            if rule.matches(action, subject, resource) {
+                match rule.effect {
+                    Effect::Deny => return Decision::Deny,
+                    Effect::Allow => allowed = true,
+                }
+            }
+        }
+        if allowed {
+            Decision::Permit
+        } else {
+            Decision::Deny
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AbacPolicy {
+        AbacPolicy::new(vec![
+            // Clinicians may read records in their own ward at clearance >= 2.
+            Rule::allow(
+                "record.read",
+                vec![
+                    Condition::Eq(Scope::Subject, "role".into(), "clinician".into()),
+                    Condition::SameAs("ward".into()),
+                    Condition::AtLeast(Scope::Subject, "clearance".into(), 2),
+                ],
+            ),
+            // Nobody reads records flagged as sealed.
+            Rule::deny(
+                "*",
+                vec![Condition::Eq(
+                    Scope::Resource,
+                    "sealed".into(),
+                    "yes".into(),
+                )],
+            ),
+        ])
+    }
+
+    fn clinician(ward: &str, clearance: i64) -> Attributes {
+        attrs([
+            ("role", "clinician".into()),
+            ("ward", ward.into()),
+            ("clearance", clearance.into()),
+        ])
+    }
+
+    #[test]
+    fn allow_when_all_conditions_hold() {
+        let p = policy();
+        let resource = attrs([("ward", "icu".into())]);
+        assert_eq!(
+            p.evaluate("record.read", &clinician("icu", 3), &resource),
+            Decision::Permit
+        );
+    }
+
+    #[test]
+    fn deny_on_ward_mismatch_or_low_clearance() {
+        let p = policy();
+        let resource = attrs([("ward", "icu".into())]);
+        assert_eq!(
+            p.evaluate("record.read", &clinician("er", 3), &resource),
+            Decision::Deny
+        );
+        assert_eq!(
+            p.evaluate("record.read", &clinician("icu", 1), &resource),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let p = policy();
+        let sealed = attrs([("ward", "icu".into()), ("sealed", "yes".into())]);
+        assert_eq!(
+            p.evaluate("record.read", &clinician("icu", 5), &sealed),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn default_deny_without_matching_rule() {
+        let p = policy();
+        let resource = attrs([("ward", "icu".into())]);
+        assert_eq!(
+            p.evaluate("record.delete", &clinician("icu", 5), &resource),
+            Decision::Deny
+        );
+        assert_eq!(
+            AbacPolicy::default().evaluate("x", &Attributes::new(), &Attributes::new()),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn condition_variants() {
+        let s = attrs([("level", 4.into()), ("org", "acme".into())]);
+        let r = attrs([("org", "acme".into())]);
+        assert!(Condition::AtMost(Scope::Subject, "level".into(), 5).eval(&s, &r));
+        assert!(!Condition::AtMost(Scope::Subject, "level".into(), 3).eval(&s, &r));
+        assert!(Condition::Ne(Scope::Subject, "org".into(), "evil".into()).eval(&s, &r));
+        assert!(Condition::Present(Scope::Resource, "org".into()).eval(&s, &r));
+        assert!(!Condition::Present(Scope::Resource, "missing".into()).eval(&s, &r));
+        // Type-mismatched numeric comparison is false, not a panic.
+        assert!(!Condition::AtLeast(Scope::Subject, "org".into(), 1).eval(&s, &r));
+    }
+
+    #[test]
+    fn wildcard_action_matches_everything() {
+        let p = AbacPolicy::new(vec![Rule::allow("*", vec![])]);
+        assert_eq!(
+            p.evaluate("anything", &Attributes::new(), &Attributes::new()),
+            Decision::Permit
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Role-based access control with role hierarchies.
+
+use blockprov_ledger::tx::AccountId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named role ("investigator", "pharmacist", "workflow-owner" …).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Role(pub String);
+
+impl Role {
+    /// Convenience constructor.
+    pub fn new(name: &str) -> Self {
+        Role(name.to_string())
+    }
+}
+
+/// A named permission ("record.append", "case.read", "evidence.export" …).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Permission(pub String);
+
+impl Permission {
+    /// Convenience constructor.
+    pub fn new(name: &str) -> Self {
+        Permission(name.to_string())
+    }
+}
+
+/// RBAC engine: role definitions, inheritance, user assignment, checks.
+#[derive(Debug, Default, Clone)]
+pub struct RbacEngine {
+    grants: BTreeMap<Role, BTreeSet<Permission>>,
+    /// child role → parent roles (child inherits parents' permissions).
+    parents: BTreeMap<Role, BTreeSet<Role>>,
+    assignments: BTreeMap<AccountId, BTreeSet<Role>>,
+}
+
+impl RbacEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grant a permission to a role (defining the role if new).
+    pub fn grant(&mut self, role: &Role, perm: Permission) {
+        self.grants.entry(role.clone()).or_default().insert(perm);
+    }
+
+    /// Make `child` inherit all permissions of `parent`.
+    ///
+    /// Cycles are tolerated at check time (visited-set traversal) but should
+    /// be considered a configuration error.
+    pub fn inherit(&mut self, child: &Role, parent: &Role) {
+        self.parents
+            .entry(child.clone())
+            .or_default()
+            .insert(parent.clone());
+    }
+
+    /// Assign a role to a user.
+    pub fn assign(&mut self, user: AccountId, role: &Role) {
+        self.assignments
+            .entry(user)
+            .or_default()
+            .insert(role.clone());
+    }
+
+    /// Remove a role from a user.
+    pub fn unassign(&mut self, user: &AccountId, role: &Role) {
+        if let Some(roles) = self.assignments.get_mut(user) {
+            roles.remove(role);
+        }
+    }
+
+    /// Roles directly assigned to a user.
+    pub fn roles_of(&self, user: &AccountId) -> impl Iterator<Item = &Role> {
+        self.assignments.get(user).into_iter().flatten()
+    }
+
+    /// Whether `user` holds `perm` through any assigned role (transitively).
+    pub fn check(&self, user: &AccountId, perm: &Permission) -> bool {
+        let Some(roles) = self.assignments.get(user) else {
+            return false;
+        };
+        let mut stack: Vec<&Role> = roles.iter().collect();
+        let mut visited: BTreeSet<&Role> = BTreeSet::new();
+        while let Some(role) = stack.pop() {
+            if !visited.insert(role) {
+                continue;
+            }
+            if self.grants.get(role).is_some_and(|ps| ps.contains(perm)) {
+                return true;
+            }
+            if let Some(parents) = self.parents.get(role) {
+                stack.extend(parents.iter());
+            }
+        }
+        false
+    }
+
+    /// All effective permissions of a user (transitively).
+    pub fn permissions_of(&self, user: &AccountId) -> BTreeSet<Permission> {
+        let mut out = BTreeSet::new();
+        let Some(roles) = self.assignments.get(user) else {
+            return out;
+        };
+        let mut stack: Vec<&Role> = roles.iter().collect();
+        let mut visited: BTreeSet<&Role> = BTreeSet::new();
+        while let Some(role) = stack.pop() {
+            if !visited.insert(role) {
+                continue;
+            }
+            if let Some(ps) = self.grants.get(role) {
+                out.extend(ps.iter().cloned());
+            }
+            if let Some(parents) = self.parents.get(role) {
+                stack.extend(parents.iter());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(n: &str) -> AccountId {
+        AccountId::from_name(n)
+    }
+
+    fn engine() -> RbacEngine {
+        let mut e = RbacEngine::new();
+        let reader = Role::new("reader");
+        let writer = Role::new("writer");
+        let admin = Role::new("admin");
+        e.grant(&reader, Permission::new("record.read"));
+        e.grant(&writer, Permission::new("record.append"));
+        e.inherit(&writer, &reader); // writers can read
+        e.inherit(&admin, &writer); // admins can do everything below
+        e.grant(&admin, Permission::new("view.manage"));
+        e.assign(acct("alice"), &writer);
+        e.assign(acct("root"), &admin);
+        e
+    }
+
+    #[test]
+    fn direct_and_inherited_permissions() {
+        let e = engine();
+        assert!(e.check(&acct("alice"), &Permission::new("record.append")));
+        assert!(
+            e.check(&acct("alice"), &Permission::new("record.read")),
+            "inherited"
+        );
+        assert!(!e.check(&acct("alice"), &Permission::new("view.manage")));
+        assert!(
+            e.check(&acct("root"), &Permission::new("record.read")),
+            "two-level inheritance"
+        );
+    }
+
+    #[test]
+    fn unknown_user_denied() {
+        let e = engine();
+        assert!(!e.check(&acct("mallory"), &Permission::new("record.read")));
+    }
+
+    #[test]
+    fn unassign_removes_access() {
+        let mut e = engine();
+        assert!(e.check(&acct("alice"), &Permission::new("record.append")));
+        e.unassign(&acct("alice"), &Role::new("writer"));
+        assert!(!e.check(&acct("alice"), &Permission::new("record.append")));
+    }
+
+    #[test]
+    fn permissions_of_collects_transitively() {
+        let e = engine();
+        let perms = e.permissions_of(&acct("root"));
+        assert!(perms.contains(&Permission::new("record.read")));
+        assert!(perms.contains(&Permission::new("record.append")));
+        assert!(perms.contains(&Permission::new("view.manage")));
+        assert_eq!(perms.len(), 3);
+    }
+
+    #[test]
+    fn inheritance_cycles_terminate() {
+        let mut e = RbacEngine::new();
+        let a = Role::new("a");
+        let b = Role::new("b");
+        e.inherit(&a, &b);
+        e.inherit(&b, &a); // cycle
+        e.grant(&b, Permission::new("p"));
+        e.assign(acct("u"), &a);
+        assert!(e.check(&acct("u"), &Permission::new("p")));
+        assert!(!e.check(&acct("u"), &Permission::new("q")));
+    }
+}

@@ -1,0 +1,96 @@
+//! E10 — access-control overhead (§6.1 / LedgerView): RBAC checks, ABAC
+//! evaluation, and view-gated ledger queries.
+
+use blockprov_access::abac::{attrs, AbacPolicy, Condition, Rule, Scope};
+use blockprov_access::rbac::{Permission, RbacEngine, Role};
+use blockprov_access::views::{ViewFilter, ViewManager};
+use blockprov_bench::loaded_ledger;
+use blockprov_ledger::tx::AccountId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_rbac(c: &mut Criterion) {
+    let mut engine = RbacEngine::new();
+    // Three-level role hierarchy with 50 users.
+    let reader = Role::new("reader");
+    let writer = Role::new("writer");
+    let admin = Role::new("admin");
+    engine.grant(&reader, Permission::new("record.read"));
+    engine.grant(&writer, Permission::new("record.append"));
+    engine.inherit(&writer, &reader);
+    engine.inherit(&admin, &writer);
+    for i in 0..50 {
+        engine.assign(AccountId::from_name(&format!("user-{i}")), &writer);
+    }
+    let user = AccountId::from_name("user-25");
+    let perm = Permission::new("record.read");
+    c.bench_function("rbac_check_inherited", |b| {
+        b.iter(|| engine.check(black_box(&user), black_box(&perm)));
+    });
+}
+
+fn bench_abac(c: &mut Criterion) {
+    let policy = AbacPolicy::new(vec![
+        Rule::allow(
+            "ehr.read",
+            vec![
+                Condition::Eq(Scope::Subject, "role".into(), "clinician".into()),
+                Condition::SameAs("ward".into()),
+                Condition::AtLeast(Scope::Subject, "clearance".into(), 2),
+            ],
+        ),
+        Rule::deny(
+            "*",
+            vec![Condition::Eq(
+                Scope::Resource,
+                "sealed".into(),
+                "yes".into(),
+            )],
+        ),
+    ]);
+    let subject = attrs([
+        ("role", "clinician".into()),
+        ("ward", "icu".into()),
+        ("clearance", 3.into()),
+    ]);
+    let resource = attrs([("ward", "icu".into())]);
+    c.bench_function("abac_evaluate", |b| {
+        b.iter(|| {
+            policy.evaluate(
+                black_box("ehr.read"),
+                black_box(&subject),
+                black_box(&resource),
+            )
+        });
+    });
+}
+
+fn bench_view_query(c: &mut Criterion) {
+    let ledger = loaded_ledger(5_000, 50, 500);
+    let owner = AccountId::from_name("owner");
+    let auditor = AccountId::from_name("auditor");
+    let mut views = ViewManager::new();
+    let id = views.create(
+        owner,
+        "audit-view",
+        ViewFilter {
+            kinds: Some([blockprov_core::txkind::PROVENANCE].into()),
+            ..Default::default()
+        },
+        true,
+    );
+    views.grant(id, owner, auditor).unwrap();
+    let mut group = c.benchmark_group("view_query_5k_txs");
+    group.sample_size(20);
+    group.bench_function("filtered", |b| {
+        b.iter(|| {
+            views
+                .query(black_box(id), black_box(&auditor), ledger.chain())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rbac, bench_abac, bench_view_query);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E7 / F2 — block formation and transaction processing time (§6.1).
+
+use blockprov_ledger::block::Block;
+use blockprov_ledger::chain::{Chain, ChainConfig};
+use blockprov_ledger::tx::{AccountId, Transaction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn txs(n: usize) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::new(
+                AccountId::from_name(&format!("user-{}", i % 16)),
+                i as u64,
+                i as u64,
+                1,
+                vec![(i % 251) as u8; 64],
+            )
+        })
+        .collect()
+}
+
+fn bench_block_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_assembly");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let batch = txs(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                Block::assemble(
+                    1,
+                    blockprov_ledger::block::BlockHash::ZERO,
+                    1000,
+                    AccountId::from_name("sealer"),
+                    0,
+                    black_box(batch.clone()),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_validation_and_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_append");
+    group.sample_size(20);
+    for n in [100usize, 1_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let chain = Chain::new(ChainConfig::default());
+                    let block =
+                        chain.assemble_next(1_000, AccountId::from_name("sealer"), 0, txs(n));
+                    (chain, block)
+                },
+                |(mut chain, block)| chain.append(black_box(block)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrity_walk(c: &mut Criterion) {
+    let mut chain = Chain::new(ChainConfig::default());
+    for i in 0..100u64 {
+        let block = chain.assemble_next(1_000 * (i + 1), AccountId::from_name("s"), 0, txs(20));
+        chain.append(block).unwrap();
+    }
+    c.bench_function("verify_integrity_100_blocks", |b| {
+        b.iter(|| black_box(&chain).verify_integrity().unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_block_assembly,
+    bench_block_validation_and_append,
+    bench_integrity_walk
+);
+criterion_main!(benches);

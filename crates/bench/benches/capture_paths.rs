@@ -1,0 +1,65 @@
+//! F3 — per-operation cost of the four Figure 3 capture pathways.
+
+use blockprov_ledger::tx::AccountId;
+use blockprov_provenance::capture::{CapturePathway, CapturePipeline, DataOperation};
+use blockprov_provenance::model::{Action, Domain};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn op(i: u64) -> DataOperation {
+    DataOperation {
+        user: AccountId::from_name("user"),
+        object: format!("file-{}", i % 32),
+        action: Action::Update,
+        timestamp_ms: i,
+        content: vec![(i % 251) as u8; 128],
+    }
+}
+
+fn bench_pathways(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture");
+    let pathways = [
+        ("user_direct", CapturePathway::UserDirect),
+        ("store_emitted", CapturePathway::DataStoreEmitted),
+        (
+            "third_party_central",
+            CapturePathway::ThirdParty {
+                decentralized: false,
+            },
+        ),
+        (
+            "third_party_quorum",
+            CapturePathway::ThirdParty {
+                decentralized: true,
+            },
+        ),
+        ("multi_source_4", CapturePathway::MultiSource { sources: 4 }),
+    ];
+    for (label, pathway) in pathways {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut pipeline = CapturePipeline::new(pathway, Domain::Cloud);
+            pipeline.authenticate(AccountId::from_name("user"));
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                pipeline.capture(black_box(&op(i))).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pseudonymized_capture(c: &mut Criterion) {
+    c.bench_function("capture_with_pseudonyms", |b| {
+        let mut pipeline = CapturePipeline::new(CapturePathway::UserDirect, Domain::Cloud)
+            .with_pseudonyms(blockprov_crypto::sha256::sha256(b"epoch"));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pipeline.capture(black_box(&op(i))).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_pathways, bench_pseudonymized_capture);
+criterion_main!(benches);

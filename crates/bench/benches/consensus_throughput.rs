@@ -1,0 +1,43 @@
+//! E1 — wall-clock cost of the consensus simulations themselves (the
+//! virtual-time throughput table lives in the `tables` binary; this bench
+//! tracks the simulator's real cost so regressions surface).
+
+use blockprov_consensus::{run_throughput, ConsensusKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_sim");
+    group.sample_size(10);
+    for (label, kind) in [
+        (
+            "pow_d12",
+            ConsensusKind::PoW {
+                difficulty_bits: 12,
+            },
+        ),
+        ("pos", ConsensusKind::PoS),
+        ("poa", ConsensusKind::PoA),
+        ("pbft", ConsensusKind::Pbft),
+        ("raft", ConsensusKind::Raft),
+    ] {
+        group.bench_function(BenchmarkId::new(label, "n7_r50"), |b| {
+            b.iter(|| run_throughput(black_box(kind), 7, 50, 11));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbft_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_network_size");
+    group.sample_size(10);
+    for n in [4usize, 10, 19] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_throughput(ConsensusKind::Pbft, n, 30, 13));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_pbft_scaling);
+criterion_main!(benches);

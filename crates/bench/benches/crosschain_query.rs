@@ -1,0 +1,44 @@
+//! E6 — real execution cost of cross-chain provenance queries: Vassago's
+//! dependency-guided trace (with proof verification) vs hop count.
+
+use blockprov_crosschain::VassagoNetwork;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn network_with_hops(hops: usize) -> VassagoNetwork {
+    let mut net = VassagoNetwork::new(hops);
+    net.create_asset("asset", 0).unwrap();
+    for hop in 1..hops {
+        net.transfer_asset("asset", hop).unwrap();
+    }
+    net
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vassago_trace");
+    group.sample_size(20);
+    for hops in [2usize, 4, 8, 16] {
+        let net = network_with_hops(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &net, |b, net| {
+            b.iter(|| net.trace_asset(black_box("asset")).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    c.bench_function("cross_chain_transfer", |b| {
+        b.iter_batched(
+            || {
+                let mut net = VassagoNetwork::new(2);
+                net.create_asset("x", 0).unwrap();
+                net
+            },
+            |mut net| net.transfer_asset(black_box("x"), 1).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_trace, bench_transfer);
+criterion_main!(benches);

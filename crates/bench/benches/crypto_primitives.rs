@@ -1,0 +1,84 @@
+//! Substrate microbenchmarks: SHA-256 throughput, Merkle construction,
+//! hash-based signatures. These calibrate every higher-level number.
+
+use blockprov_crypto::sha256::{sha256, Sha256};
+use blockprov_crypto::sig::{verify, Keypair, OtsScheme};
+use blockprov_crypto::MerkleTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256_incremental(c: &mut Criterion) {
+    let chunk = vec![0x5Au8; 256];
+    c.bench_function("sha256_incremental_16_chunks", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for _ in 0..16 {
+                h.update(black_box(&chunk));
+            }
+            h.finalize()
+        });
+    });
+}
+
+fn bench_merkle_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_build");
+    for n in [64usize, 1024, 8192] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::from_data(black_box(leaves)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_signatures");
+    group.sample_size(10);
+    for (scheme, label) in [(OtsScheme::Wots, "wots"), (OtsScheme::Lamport, "lamport")] {
+        group.bench_function(format!("{label}_sign"), |b| {
+            // Height 8 = 256 one-time leaves; refresh keypair when drained.
+            let mut kp = Keypair::from_name("bench-signer", scheme, 8);
+            b.iter(|| {
+                if kp.remaining() == 0 {
+                    kp = Keypair::from_name("bench-signer", scheme, 8);
+                }
+                kp.sign(black_box(b"benchmark message")).unwrap()
+            });
+        });
+        let mut kp = Keypair::from_name("bench-verifier", scheme, 4);
+        let pk = kp.public_key();
+        let sig = kp.sign(b"benchmark message").unwrap();
+        group.bench_function(format!("{label}_verify"), |b| {
+            b.iter(|| {
+                verify(
+                    black_box(&pk),
+                    black_box(b"benchmark message"),
+                    black_box(&sig),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_sha256_incremental,
+    bench_merkle_build,
+    bench_signatures
+);
+criterion_main!(benches);

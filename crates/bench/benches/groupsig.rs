@@ -1,0 +1,53 @@
+//! E16 — group-signature costs (the Abouyoussef [3] anonymity primitive):
+//! setup vs group size, anonymous sign, public verify, manager open, and
+//! signature size.
+
+use blockprov_crypto::groupsig::{verify_group, GroupManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupsig_setup");
+    group.sample_size(10);
+    for members in [4usize, 16, 64] {
+        let names: Vec<String> = (0..members).map(|i| format!("m{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, _| {
+            b.iter(|| GroupManager::setup(black_box(b"bench-group"), &refs, 4).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sign_verify_open(c: &mut Criterion) {
+    let names: Vec<String> = (0..16).map(|i| format!("m{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let (mgr, mut members) = GroupManager::setup(b"bench-group", &refs, 64).unwrap();
+    let pk = mgr.group_public_key();
+
+    let mut group = c.benchmark_group("groupsig_ops");
+    group.sample_size(20);
+    group.bench_function("sign", |b| {
+        b.iter(|| {
+            members[0]
+                .sign(black_box(b"anonymous symptom report"))
+                .expect("credentials sized for the bench")
+        });
+    });
+
+    let (mgr2, mut members2) = GroupManager::setup(b"bench-group-2", &refs, 4).unwrap();
+    let pk2 = mgr2.group_public_key();
+    let sig = members2[3].sign(b"fixed message").unwrap();
+    println!("E16 group signature size: {} bytes", sig.encoded_len());
+    group.bench_function("verify", |b| {
+        b.iter(|| verify_group(black_box(&pk2), b"fixed message", black_box(&sig)));
+    });
+    group.bench_function("open", |b| {
+        b.iter(|| mgr2.open(b"fixed message", black_box(&sig)).unwrap());
+    });
+    let _ = pk;
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_sign_verify_open);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 — provenance retrieval latency: linear scan vs index vs repeated-query
+//! cache, across graph sizes (§6.1 "retrieval latency of provenance").
+
+use blockprov_bench::loaded_ledger;
+use blockprov_provenance::query::{ProvQuery, QueryCache, QueryEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scan_vs_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let ledger = loaded_ledger(n, 100, 500);
+        let graph = ledger.graph();
+        let engine = QueryEngine::build_from(graph);
+        let query = ProvQuery::BySubject("object-7".into());
+
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| QueryEngine::execute_scan(black_box(graph), black_box(&query)));
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| engine.execute(black_box(graph), black_box(&query)));
+        });
+        group.bench_with_input(BenchmarkId::new("cached_repeat", n), &n, |b, _| {
+            let mut cache = QueryCache::new(64);
+            cache.execute(&engine, graph, &query);
+            b.iter(|| cache.execute(&engine, black_box(graph), black_box(&query)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let ledger = loaded_ledger(10_000, 50, 500);
+    let graph = ledger.graph();
+    let engine = QueryEngine::build_from(graph);
+    // Deep lineage: every subject accumulates ~200 chained records.
+    let query = ProvQuery::Lineage("object-3".into());
+    c.bench_function("lineage_10k_records", |b| {
+        b.iter(|| engine.execute(black_box(graph), black_box(&query)));
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let ledger = loaded_ledger(10_000, 100, 500);
+    let graph = ledger.graph();
+    let engine = QueryEngine::build_from(graph);
+    let queries: Vec<ProvQuery> = (0..32)
+        .map(|i| ProvQuery::BySubject(format!("object-{i}")))
+        .collect();
+    c.bench_function("batch_32_queries", |b| {
+        b.iter(|| engine.execute_batch(black_box(graph), black_box(&queries)));
+    });
+}
+
+criterion_group!(benches, bench_scan_vs_index, bench_lineage, bench_batch);
+criterion_main!(benches);

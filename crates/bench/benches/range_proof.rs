@@ -1,0 +1,52 @@
+//! E11 — PrivChain-style range proofs: commit/prove/verify cost and proof
+//! size versus domain size (hash-chain construction is linear in the range).
+
+use blockprov_crypto::rangeproof::RangeWitness;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_commit");
+    for max in [255u64, 4_095, 65_535] {
+        group.bench_with_input(BenchmarkId::from_parameter(max), &max, |b, &max| {
+            b.iter(|| RangeWitness::commit(black_box(max / 2), max, &[7u8; 32]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_prove_and_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_prove_verify");
+    for max in [255u64, 4_095, 65_535] {
+        let (witness, commitment) = RangeWitness::commit(max / 2, max, &[9u8; 32]).unwrap();
+        let (lo, hi) = (max / 4, 3 * max / 4);
+        group.bench_with_input(BenchmarkId::new("prove", max), &max, |b, _| {
+            b.iter(|| witness.prove(black_box(lo), black_box(hi)).unwrap());
+        });
+        let proof = witness.prove(lo, hi).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify", max), &max, |b, _| {
+            b.iter(|| proof.verify(black_box(&commitment)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_chain_scenario(c: &mut Criterion) {
+    // The supply-chain shape: decicelsius domain [0, 400], window [20, 80].
+    let (witness, commitment) = RangeWitness::commit(55, 400, &[3u8; 32]).unwrap();
+    c.bench_function("cold_chain_prove_2_to_8C", |b| {
+        b.iter(|| witness.prove(20, 80).unwrap());
+    });
+    let proof = witness.prove(20, 80).unwrap();
+    c.bench_function("cold_chain_verify_2_to_8C", |b| {
+        b.iter(|| proof.verify(black_box(&commitment)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_commit,
+    bench_prove_and_verify,
+    bench_cold_chain_scenario
+);
+criterion_main!(benches);

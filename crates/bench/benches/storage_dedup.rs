@@ -1,0 +1,139 @@
+//! E14 — content-addressed storage: chunking strategy vs deduplication
+//! under versioned writes, and swarm fetch cost vs peer failures.
+//!
+//! The shape to reproduce (Hasan [33] / HealthBlock [1] architectures):
+//! content-defined chunking keeps dedup high across edits where fixed
+//! chunking collapses, and replicated fetch cost grows only as replicas
+//! fail.
+
+use blockprov_crypto::HmacDrbg;
+use blockprov_storage::{add_file, cat, BlockStore, Chunker, Swarm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample(len: usize, seed: u64) -> Vec<u8> {
+    let mut drbg = HmacDrbg::new(&seed.to_le_bytes());
+    let mut out = vec![0u8; len];
+    drbg.fill_bytes(&mut out);
+    out
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let data = sample(1 << 20, 1); // 1 MiB
+    let mut group = c.benchmark_group("chunking_1MiB");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, chunker) in [
+        ("fixed-4k", Chunker::Fixed(4096)),
+        ("cdc-4k", Chunker::ContentDefined(4096)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &chunker, |b, ch| {
+            b.iter(|| ch.split(black_box(&data)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_add_file(c: &mut Criterion) {
+    let data = sample(256 * 1024, 2);
+    let mut group = c.benchmark_group("add_file_256KiB");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, chunker) in [
+        ("fixed-4k", Chunker::Fixed(4096)),
+        ("cdc-4k", Chunker::ContentDefined(4096)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &chunker, |b, ch| {
+            b.iter(|| {
+                let mut store = BlockStore::new();
+                add_file(&mut store, black_box(&data), *ch, 16)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cat(c: &mut Criterion) {
+    let data = sample(256 * 1024, 3);
+    let mut store = BlockStore::new();
+    let root = add_file(&mut store, &data, Chunker::ContentDefined(4096), 16);
+    let mut group = c.benchmark_group("cat_256KiB");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("local", |b| b.iter(|| cat(&store, black_box(&root)).unwrap()));
+    let mut swarm = Swarm::new(8, 3);
+    let swarm_root = add_file(&mut swarm, &data, Chunker::ContentDefined(4096), 16);
+    group.bench_function("swarm_8_peers", |b| {
+        b.iter(|| cat(&swarm, black_box(&swarm_root)).unwrap())
+    });
+    group.finish();
+}
+
+/// Dedup ratio across versioned writes — printed once (it is a measurement,
+/// not a timing); the timing part measures the versioned-write itself.
+fn bench_versioned_writes(c: &mut Criterion) {
+    let base = sample(512 * 1024, 4);
+    let mut edited = base.clone();
+    edited.splice(100_000..100_000, b"EDIT".iter().copied());
+
+    for (label, chunker) in [
+        ("fixed-4k", Chunker::Fixed(4096)),
+        ("cdc-4k", Chunker::ContentDefined(4096)),
+    ] {
+        let mut store = BlockStore::new();
+        add_file(&mut store, &base, chunker, 16);
+        let before = store.stats().unique_bytes;
+        add_file(&mut store, &edited, chunker, 16);
+        let added = store.stats().unique_bytes - before;
+        println!(
+            "E14 versioned-write [{label}]: second version added {added} bytes \
+             ({:.1}% of file)",
+            100.0 * added as f64 / edited.len() as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("versioned_write_512KiB");
+    group.sample_size(10);
+    group.bench_function("cdc-4k", |b| {
+        b.iter(|| {
+            let mut store = BlockStore::new();
+            add_file(&mut store, black_box(&base), Chunker::ContentDefined(4096), 16);
+            add_file(&mut store, black_box(&edited), Chunker::ContentDefined(4096), 16);
+            store.stats().unique_bytes
+        });
+    });
+    group.finish();
+}
+
+fn bench_fetch_under_failures(c: &mut Criterion) {
+    let data = sample(64 * 1024, 5);
+    let mut group = c.benchmark_group("swarm_fetch_64KiB_vs_failures");
+    group.sample_size(20);
+    for failures in [0usize, 1, 2] {
+        let mut swarm = Swarm::new(8, 3);
+        let root = add_file(&mut swarm, &data, Chunker::Fixed(4096), 16);
+        for i in 0..failures {
+            swarm.fail_peer(i);
+        }
+        // Only bench configurations where the content is still reachable.
+        if cat(&swarm, &root).is_err() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(failures),
+            &failures,
+            |b, _| b.iter(|| cat(&swarm, black_box(&root)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chunking,
+    bench_add_file,
+    bench_cat,
+    bench_versioned_writes,
+    bench_fetch_under_failures
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E4 — ProvChain provenance upload overhead: the per-file-op cost added by
+//! capture + anchoring, against a bare content-hash baseline.
+
+use blockprov_core::{CloudAuditor, CloudOpKind, LedgerConfig, StorageMode};
+use blockprov_crypto::sha256::sha256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_baseline_store(c: &mut Criterion) {
+    let content = vec![0x42u8; 256];
+    c.bench_function("store_only_hash", |b| {
+        b.iter(|| sha256(black_box(&content)));
+    });
+}
+
+fn bench_audited_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audited_file_op");
+    group.sample_size(20);
+    for (label, storage) in [
+        ("hash_anchored", StorageMode::HashAnchored),
+        ("onchain_full", StorageMode::OnChainFull),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut auditor =
+                CloudAuditor::new(LedgerConfig::private_default().with_storage(storage), 1_000);
+            let user = auditor.register_user("u").unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                auditor
+                    .file_op(
+                        &user,
+                        &format!("f{}", i % 64),
+                        CloudOpKind::Update,
+                        black_box(&[(i % 251) as u8; 256]),
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_seal_and_prove(c: &mut Criterion) {
+    c.bench_function("seal_block_100_ops", |b| {
+        b.iter_batched(
+            || {
+                let mut auditor = CloudAuditor::new(LedgerConfig::private_default(), 10_000);
+                let user = auditor.register_user("u").unwrap();
+                for i in 0..100u64 {
+                    auditor
+                        .file_op(&user, &format!("f{i}"), CloudOpKind::Update, &[i as u8])
+                        .unwrap();
+                }
+                auditor
+            },
+            |mut auditor| auditor.seal().unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    let mut auditor = CloudAuditor::new(LedgerConfig::private_default(), 512);
+    let user = auditor.register_user("u").unwrap();
+    let mut rid = None;
+    for i in 0..200u64 {
+        rid = Some(
+            auditor
+                .file_op(
+                    &user,
+                    &format!("f{}", i % 16),
+                    CloudOpKind::Update,
+                    &[i as u8],
+                )
+                .unwrap(),
+        );
+    }
+    auditor.seal().unwrap();
+    let rid = rid.unwrap();
+    c.bench_function("issue_and_verify_proof", |b| {
+        b.iter(|| {
+            let proof = auditor.issue_proof(black_box(&rid)).unwrap();
+            assert!(auditor.user_verify(&rid, &proof));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_baseline_store,
+    bench_audited_op,
+    bench_seal_and_prove
+);
+criterion_main!(benches);

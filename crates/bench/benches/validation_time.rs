@@ -1,0 +1,88 @@
+//! E5 — validation time (§6.1): Merkle proof verification vs full rescan,
+//! flat tree vs ForensiBlock's distributed Merkle tree.
+
+use blockprov_crypto::dmt::DistributedMerkleTree;
+use blockprov_crypto::sha256::sha256;
+use blockprov_crypto::MerkleTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_proof_vs_rescan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation");
+    for n in [1_000usize, 10_000, 100_000] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("record-{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_data(&leaves);
+        let root = tree.root();
+        let proof = tree.prove(n / 2).unwrap();
+        let target = leaves[n / 2].clone();
+
+        // O(log n) proof verification.
+        group.bench_with_input(BenchmarkId::new("merkle_proof", n), &n, |b, _| {
+            b.iter(|| proof.verify_data(black_box(&root), black_box(&target)));
+        });
+        // O(n) full rescan (rebuild the root from all records).
+        group.bench_with_input(BenchmarkId::new("full_rescan", n), &n, |b, _| {
+            b.iter(|| MerkleTree::from_data(black_box(&leaves)).root() == root);
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_vs_distributed(c: &mut Criterion) {
+    // 100 cases × 100 records each: proving one record under the forest
+    // root touches only one segment; the flat tree mixes all cases.
+    let mut group = c.benchmark_group("dmt_vs_flat_proof_gen");
+    group.sample_size(20);
+    let mut dmt = DistributedMerkleTree::new();
+    let mut all: Vec<Vec<u8>> = Vec::new();
+    for case in 0..100 {
+        for rec in 0..100 {
+            let data = format!("case-{case}/rec-{rec}").into_bytes();
+            dmt.append_data(&format!("case-{case}"), &data);
+            all.push(data);
+        }
+    }
+    let _ = dmt.forest_root();
+    group.bench_function("distributed_prove", |b| {
+        b.iter(|| dmt.prove(black_box("case-42"), black_box(57)).unwrap());
+    });
+
+    let flat = MerkleTree::from_data(&all);
+    group.bench_function("flat_prove", |b| {
+        b.iter(|| flat.prove(black_box(4257)).unwrap());
+    });
+
+    // Verification cost comparison.
+    let forest_root = dmt.forest_root();
+    let compound = dmt.prove("case-42", 57).unwrap();
+    let flat_proof = flat.prove(4257).unwrap();
+    let flat_root = flat.root();
+    group.bench_function("distributed_verify", |b| {
+        b.iter(|| compound.verify(black_box(&forest_root), black_box(b"case-42/rec-57")));
+    });
+    group.bench_function("flat_verify", |b| {
+        b.iter(|| flat_proof.verify_data(black_box(&flat_root), black_box(b"case-42/rec-57")));
+    });
+    group.finish();
+}
+
+fn bench_hash_chain_walk(c: &mut Criterion) {
+    // Context for range proofs: cost of k chained hashes.
+    c.bench_function("hash_chain_1000", |b| {
+        b.iter(|| {
+            let mut h = sha256(b"seed");
+            for _ in 0..1000 {
+                h = sha256(h.as_bytes());
+            }
+            h
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_proof_vs_rescan,
+    bench_flat_vs_distributed,
+    bench_hash_chain_walk
+);
+criterion_main!(benches);

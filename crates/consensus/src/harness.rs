@@ -1,0 +1,459 @@
+//! The §6.1 evaluation harness: throughput and commit latency per consensus
+//! engine and network size (experiments E1 and E12).
+//!
+//! Each engine runs its real message protocol on the `simnet` simulator with
+//! a fixed client workload, and the report extracts the same quantities the
+//! surveyed systems tabulate: committed requests per virtual second, mean
+//! commit latency, and message cost.
+
+use crate::pbft::{ByzMode, PbftNode};
+use crate::pos::ValidatorSet;
+use crate::raft::RaftNode;
+use blockprov_crypto::sha256::sha256;
+use blockprov_ledger::tx::AccountId;
+use blockprov_simnet::{Ctx, NodeId, Protocol, SimConfig, SimTime, Simulation};
+use std::collections::BTreeMap;
+
+/// Which consensus engine to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusKind {
+    /// Proof of Work with the given difficulty (hash-rate-normalized model).
+    PoW {
+        /// Leading zero bits required.
+        difficulty_bits: u32,
+    },
+    /// Stake-weighted single-leader rounds.
+    PoS,
+    /// Authority round-robin rounds.
+    PoA,
+    /// Full PBFT (O(n²) messages).
+    Pbft,
+    /// Raft log replication (O(n) messages).
+    Raft,
+}
+
+impl ConsensusKind {
+    /// Human-readable engine name.
+    pub fn name(&self) -> String {
+        match self {
+            ConsensusKind::PoW { difficulty_bits } => format!("PoW(d={difficulty_bits})"),
+            ConsensusKind::PoS => "PoS".to_string(),
+            ConsensusKind::PoA => "PoA".to_string(),
+            ConsensusKind::Pbft => "PBFT".to_string(),
+            ConsensusKind::Raft => "Raft".to_string(),
+        }
+    }
+}
+
+/// Results of one throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Engine name.
+    pub kind: String,
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Requests the workload asked for.
+    pub offered_requests: u64,
+    /// Requests actually committed.
+    pub committed_requests: u64,
+    /// Virtual duration of the run (milliseconds).
+    pub virtual_ms: f64,
+    /// Committed requests per virtual second.
+    pub tps: f64,
+    /// Mean gap between consecutive commits (milliseconds).
+    pub mean_commit_interval_ms: f64,
+    /// Network messages sent.
+    pub messages: u64,
+}
+
+fn report_from_times(
+    kind: &ConsensusKind,
+    n_nodes: usize,
+    offered: u64,
+    times: &BTreeMap<u64, SimTime>,
+    messages: u64,
+) -> ThroughputReport {
+    let committed = times.len() as u64;
+    let last_us = times.values().max().copied().unwrap_or(0);
+    let virtual_ms = last_us as f64 / 1_000.0;
+    let tps = if last_us == 0 {
+        0.0
+    } else {
+        committed as f64 / (last_us as f64 / 1e6)
+    };
+    let mut sorted: Vec<SimTime> = times.values().copied().collect();
+    sorted.sort_unstable();
+    let mean_gap = if sorted.len() > 1 {
+        (sorted[sorted.len() - 1] - sorted[0]) as f64 / (sorted.len() - 1) as f64 / 1_000.0
+    } else {
+        virtual_ms
+    };
+    ThroughputReport {
+        kind: kind.name(),
+        n_nodes,
+        offered_requests: offered,
+        committed_requests: committed,
+        virtual_ms,
+        tps,
+        mean_commit_interval_ms: mean_gap,
+        messages,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PoW network model
+// ---------------------------------------------------------------------------
+
+/// A mining node: samples exponential block-discovery times calibrated to
+/// difficulty and per-node hash rate, broadcasts found blocks, and adopts the
+/// longest chain it hears about.
+struct PowNetNode {
+    height: u64,
+    target_blocks: u64,
+    mean_us: f64,
+    epoch: u64,
+    /// First time this node reached each height.
+    commit_times: BTreeMap<u64, SimTime>,
+}
+
+impl PowNetNode {
+    /// Hash rate model: 10^6 hashes per virtual second per node.
+    const HASHES_PER_US: f64 = 1.0;
+
+    fn new(difficulty_bits: u32, target_blocks: u64) -> Self {
+        let mean_us = 2f64.powi(difficulty_bits as i32) / Self::HASHES_PER_US;
+        Self {
+            height: 0,
+            target_blocks,
+            mean_us,
+            epoch: 0,
+            commit_times: BTreeMap::new(),
+        }
+    }
+
+    fn schedule_mining(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.epoch += 1;
+        let u = ctx.rng.next_f64().max(1e-12);
+        let delay = (-u.ln() * self.mean_us).max(1.0) as u64;
+        ctx.set_timer(delay, self.epoch);
+    }
+}
+
+impl Protocol for PowNetNode {
+    type Msg = u64; // block height announcement
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        self.schedule_mining(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, height: u64) {
+        if height > self.height {
+            for h in self.height + 1..=height {
+                self.commit_times.entry(h).or_insert(ctx.now());
+            }
+            self.height = height;
+            if self.height < self.target_blocks {
+                self.schedule_mining(ctx); // restart on the new tip
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, epoch: u64) {
+        if epoch != self.epoch || self.height >= self.target_blocks {
+            return; // stale mining attempt (tip moved) or done
+        }
+        self.height += 1;
+        self.commit_times.entry(self.height).or_insert(ctx.now());
+        ctx.broadcast(self.height);
+        if self.height < self.target_blocks {
+            self.schedule_mining(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leader-round model (PoS / PoA)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RoundMsg {
+    Propose { round: u64 },
+    Ack { round: u64 },
+    Decide { round: u64 },
+}
+
+/// Single-leader rounds: the round's leader proposes a block, collects a
+/// majority of acks, and announces the decision; then the next leader takes
+/// over. PoS picks leaders by stake, PoA round-robin — identical message
+/// pattern, different (deterministic) leader schedule.
+struct RoundNode {
+    id: NodeId,
+    n: usize,
+    round: u64,
+    target_rounds: u64,
+    leaders: Vec<NodeId>,
+    acks: BTreeMap<u64, usize>,
+    decided: BTreeMap<u64, SimTime>,
+}
+
+impl RoundNode {
+    fn new(id: NodeId, n: usize, target_rounds: u64, leaders: Vec<NodeId>) -> Self {
+        Self {
+            id,
+            n,
+            round: 0,
+            target_rounds,
+            leaders,
+            acks: BTreeMap::new(),
+            decided: BTreeMap::new(),
+        }
+    }
+
+    fn leader_of(&self, round: u64) -> NodeId {
+        self.leaders[(round % self.leaders.len() as u64) as usize]
+    }
+
+    fn maybe_propose(&mut self, ctx: &mut Ctx<'_, RoundMsg>) {
+        if self.round < self.target_rounds && self.leader_of(self.round) == self.id {
+            ctx.broadcast(RoundMsg::Propose { round: self.round });
+            self.acks.insert(self.round, 1); // self-ack
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_, RoundMsg>, round: u64) {
+        if self.decided.contains_key(&round) {
+            return;
+        }
+        self.decided.insert(round, ctx.now());
+        self.round = self.round.max(round + 1);
+        self.maybe_propose(ctx);
+    }
+}
+
+impl Protocol for RoundNode {
+    type Msg = RoundMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RoundMsg>) {
+        self.maybe_propose(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RoundMsg>, from: NodeId, msg: RoundMsg) {
+        match msg {
+            RoundMsg::Propose { round } => {
+                if self.leader_of(round) == from {
+                    ctx.send(from, RoundMsg::Ack { round });
+                }
+            }
+            RoundMsg::Ack { round } => {
+                if self.leader_of(round) != self.id {
+                    return;
+                }
+                let acks = self.acks.entry(round).or_insert(1);
+                *acks += 1;
+                if *acks > self.n / 2 && !self.decided.contains_key(&round) {
+                    ctx.broadcast(RoundMsg::Decide { round });
+                    self.decide(ctx, round);
+                }
+            }
+            RoundMsg::Decide { round } => self.decide(ctx, round),
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, RoundMsg>, _t: u64) {}
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Run one engine with `n_nodes` over `requests` client requests.
+///
+/// `requests` are batched into blocks of `batch` for the block-structured
+/// engines (PoW/PoS/PoA); PBFT and Raft decide individual requests.
+pub fn run_throughput(
+    kind: ConsensusKind,
+    n_nodes: usize,
+    requests: u64,
+    seed: u64,
+) -> ThroughputReport {
+    const BATCH: u64 = 10;
+    let cfg = SimConfig::lan(seed);
+    match kind {
+        ConsensusKind::Pbft => {
+            let nodes = (0..n_nodes)
+                .map(|i| PbftNode::new(i, n_nodes, requests, ByzMode::Honest))
+                .collect();
+            let mut sim = Simulation::new(nodes, cfg);
+            sim.run_to_quiescence(60_000_000);
+            report_from_times(
+                &kind,
+                n_nodes,
+                requests,
+                &sim.node(0).commit_times,
+                sim.metrics.sent,
+            )
+        }
+        ConsensusKind::Raft => {
+            let nodes = (0..n_nodes)
+                .map(|i| RaftNode::new(i, n_nodes, requests))
+                .collect();
+            let mut sim = Simulation::new(nodes, cfg);
+            sim.run_to_quiescence(60_000_000);
+            let times = sim
+                .nodes()
+                .map(|n| &n.commit_times)
+                .max_by_key(|t| t.len())
+                .cloned()
+                .unwrap_or_default();
+            report_from_times(&kind, n_nodes, requests, &times, sim.metrics.sent)
+        }
+        ConsensusKind::PoW { difficulty_bits } => {
+            let blocks = requests.div_ceil(BATCH);
+            let nodes = (0..n_nodes)
+                .map(|_| PowNetNode::new(difficulty_bits, blocks))
+                .collect();
+            let mut sim = Simulation::new(nodes, cfg);
+            sim.run_to_quiescence(60_000_000);
+            let times = sim
+                .nodes()
+                .map(|n| &n.commit_times)
+                .max_by_key(|t| t.len())
+                .cloned()
+                .unwrap_or_default();
+            // Each block carries BATCH requests.
+            let mut req_times = BTreeMap::new();
+            for (block, t) in &times {
+                for r in 0..BATCH {
+                    req_times.insert((block - 1) * BATCH + r, *t);
+                }
+            }
+            req_times.retain(|r, _| *r < requests);
+            report_from_times(&kind, n_nodes, requests, &req_times, sim.metrics.sent)
+        }
+        ConsensusKind::PoS | ConsensusKind::PoA => {
+            let rounds = requests.div_ceil(BATCH);
+            let leaders: Vec<NodeId> = match kind {
+                ConsensusKind::PoS => {
+                    // Stake-weighted schedule computed once from shared
+                    // randomness (stakes: node i holds i+1 units).
+                    let mut vs = ValidatorSet::new();
+                    let accounts: Vec<AccountId> = (0..n_nodes)
+                        .map(|i| AccountId::from_name(&format!("validator-{i}")))
+                        .collect();
+                    for (i, a) in accounts.iter().enumerate() {
+                        vs.bond(*a, (i + 1) as u64);
+                    }
+                    let epoch = sha256(&seed.to_le_bytes());
+                    (0..rounds.max(1))
+                        .map(|r| {
+                            let leader = vs.leader(&epoch, r).expect("stake bonded");
+                            accounts.iter().position(|a| *a == leader).expect("known")
+                        })
+                        .collect()
+                }
+                _ => (0..n_nodes).collect(), // PoA round-robin
+            };
+            let nodes = (0..n_nodes)
+                .map(|i| RoundNode::new(i, n_nodes, rounds, leaders.clone()))
+                .collect();
+            let mut sim = Simulation::new(nodes, cfg);
+            sim.run_to_quiescence(60_000_000);
+            let times = sim
+                .nodes()
+                .map(|n| &n.decided)
+                .max_by_key(|t| t.len())
+                .cloned()
+                .unwrap_or_default();
+            let mut req_times = BTreeMap::new();
+            for (round, t) in &times {
+                for r in 0..BATCH {
+                    req_times.insert(round * BATCH + r, *t);
+                }
+            }
+            req_times.retain(|r, _| *r < requests);
+            report_from_times(&kind, n_nodes, requests, &req_times, sim.metrics.sent)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engines_commit_the_workload() {
+        for kind in [
+            ConsensusKind::PoW {
+                difficulty_bits: 12,
+            },
+            ConsensusKind::PoS,
+            ConsensusKind::PoA,
+            ConsensusKind::Pbft,
+            ConsensusKind::Raft,
+        ] {
+            let r = run_throughput(kind, 4, 50, 1);
+            assert_eq!(r.committed_requests, 50, "{}: {r:?}", r.kind);
+            assert!(r.tps > 0.0, "{}", r.kind);
+        }
+    }
+
+    #[test]
+    fn bft_beats_pow_at_small_scale() {
+        // The classic shape: at consortium scale, BFT-style engines commit
+        // orders of magnitude faster than PoW at meaningful difficulty.
+        let pow = run_throughput(
+            ConsensusKind::PoW {
+                difficulty_bits: 20,
+            },
+            4,
+            100,
+            2,
+        );
+        let pbft = run_throughput(ConsensusKind::Pbft, 4, 100, 2);
+        assert!(
+            pbft.tps > pow.tps * 5.0,
+            "pbft {} vs pow {}",
+            pbft.tps,
+            pow.tps
+        );
+    }
+
+    #[test]
+    fn pbft_throughput_degrades_with_network_size() {
+        let small = run_throughput(ConsensusKind::Pbft, 4, 60, 3);
+        let large = run_throughput(ConsensusKind::Pbft, 25, 60, 3);
+        assert!(
+            large.messages > small.messages * 10,
+            "messages {} vs {}",
+            large.messages,
+            small.messages
+        );
+        assert!(large.tps < small.tps, "tps {} vs {}", large.tps, small.tps);
+    }
+
+    #[test]
+    fn pow_difficulty_slows_commits() {
+        let easy = run_throughput(
+            ConsensusKind::PoW {
+                difficulty_bits: 10,
+            },
+            4,
+            50,
+            4,
+        );
+        let hard = run_throughput(
+            ConsensusKind::PoW {
+                difficulty_bits: 16,
+            },
+            4,
+            50,
+            4,
+        );
+        assert!(
+            hard.virtual_ms > easy.virtual_ms * 4.0,
+            "{} vs {}",
+            hard.virtual_ms,
+            easy.virtual_ms
+        );
+    }
+}

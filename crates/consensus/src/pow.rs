@@ -1,0 +1,125 @@
+//! Proof of Work: nonce search and difficulty retargeting.
+
+use blockprov_ledger::block::BlockHeader;
+
+/// Result of a bounded mining attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiningOutcome {
+    /// A nonce satisfying the difficulty was found after `hashes` attempts.
+    Found {
+        /// Hash evaluations performed.
+        hashes: u64,
+    },
+    /// The iteration budget was exhausted.
+    Exhausted,
+}
+
+/// Search for a nonce meeting `header.difficulty_bits`.
+///
+/// Mutates `header.nonce`. Returns [`MiningOutcome::Found`] with the number
+/// of hash evaluations (the E1 work measure) or `Exhausted` if `max_iters`
+/// attempts fail.
+pub fn mine(header: &mut BlockHeader, max_iters: u64) -> MiningOutcome {
+    for i in 0..max_iters {
+        if header.meets_difficulty() {
+            return MiningOutcome::Found { hashes: i + 1 };
+        }
+        header.nonce = header.nonce.wrapping_add(1);
+    }
+    MiningOutcome::Exhausted
+}
+
+/// Bitcoin-style difficulty retarget, simplified to whole bits.
+///
+/// Compares the observed interval over a window to the target interval and
+/// moves difficulty one bit at a time (a factor-2 adjustment), clamped to
+/// `[1, 64]` — coarse but stable, and enough to reproduce the retargeting
+/// dynamics the §6.1 "difficulty level" axis asks about.
+pub fn retarget(current_bits: u32, observed_ms: u64, target_ms: u64) -> u32 {
+    debug_assert!(target_ms > 0);
+    if observed_ms == 0 || observed_ms * 2 < target_ms {
+        (current_bits + 1).min(64)
+    } else if observed_ms > target_ms * 2 {
+        current_bits.saturating_sub(1).max(1)
+    } else {
+        current_bits.max(1)
+    }
+}
+
+/// Expected hash attempts for a difficulty (2^bits).
+pub fn expected_hashes(bits: u32) -> f64 {
+    2f64.powi(bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockprov_ledger::block::{Block, BlockHash};
+    use blockprov_ledger::tx::AccountId;
+
+    fn header(bits: u32) -> BlockHeader {
+        let b = Block::assemble(
+            1,
+            BlockHash::ZERO,
+            1000,
+            AccountId::from_name("miner"),
+            bits,
+            vec![],
+        );
+        b.header
+    }
+
+    #[test]
+    fn mining_meets_target() {
+        let mut h = header(8);
+        let outcome = mine(&mut h, 1_000_000);
+        assert!(matches!(outcome, MiningOutcome::Found { .. }));
+        assert!(h.meets_difficulty());
+        assert!(h.hash().0.leading_zero_bits() >= 8);
+    }
+
+    #[test]
+    fn mining_budget_exhausts() {
+        let mut h = header(64);
+        assert_eq!(mine(&mut h, 10), MiningOutcome::Exhausted);
+    }
+
+    #[test]
+    fn zero_difficulty_mines_immediately() {
+        let mut h = header(0);
+        assert_eq!(mine(&mut h, 10), MiningOutcome::Found { hashes: 1 });
+    }
+
+    #[test]
+    fn harder_difficulty_takes_more_hashes_on_average() {
+        // Statistical sanity over a few samples: 12 bits should cost more
+        // tries than 4 bits by a wide margin.
+        let cost = |bits: u32| -> u64 {
+            let mut total = 0;
+            for i in 0..4u64 {
+                let mut h = header(bits);
+                h.timestamp_ms = 1000 + i; // vary the search space
+                match mine(&mut h, u64::MAX) {
+                    MiningOutcome::Found { hashes } => total += hashes,
+                    MiningOutcome::Exhausted => unreachable!(),
+                }
+            }
+            total
+        };
+        assert!(cost(12) > cost(4));
+    }
+
+    #[test]
+    fn retarget_moves_towards_target() {
+        assert_eq!(retarget(10, 1_000, 10_000), 11, "too fast → harder");
+        assert_eq!(retarget(10, 100_000, 10_000), 9, "too slow → easier");
+        assert_eq!(retarget(10, 10_000, 10_000), 10, "on target → unchanged");
+        assert_eq!(retarget(1, 100_000, 10_000), 1, "floor at 1");
+        assert_eq!(retarget(64, 1, 10_000), 64, "ceiling at 64");
+    }
+
+    #[test]
+    fn expected_hashes_doubles_per_bit() {
+        assert_eq!(expected_hashes(10) * 2.0, expected_hashes(11));
+    }
+}

@@ -1,0 +1,427 @@
+//! Contract trait, gas metering, state store and invocation runtime.
+
+use blockprov_crypto::sha256::{hash_parts, Hash256};
+use blockprov_ledger::tx::AccountId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a deployed contract (hash of its registered name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContractId(pub Hash256);
+
+impl ContractId {
+    /// Derive from a contract name.
+    pub fn from_name(name: &str) -> Self {
+        ContractId(hash_parts("blockprov-contract", &[name.as_bytes()]))
+    }
+}
+
+/// Errors surfaced by contract execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// No contract registered under the id.
+    UnknownContract(ContractId),
+    /// Method not exposed by the contract.
+    UnknownMethod(String),
+    /// Gas limit exhausted mid-execution.
+    OutOfGas {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+    /// Malformed call arguments.
+    BadArguments(String),
+    /// Contract-level rule violation (state unchanged).
+    Rejected(String),
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::UnknownContract(id) => write!(f, "unknown contract {:?}", id.0),
+            ContractError::UnknownMethod(m) => write!(f, "unknown method {m}"),
+            ContractError::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
+            ContractError::BadArguments(msg) => write!(f, "bad arguments: {msg}"),
+            ContractError::Rejected(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// Deterministic gas accounting.
+#[derive(Debug, Clone)]
+pub struct GasMeter {
+    limit: u64,
+    used: u64,
+}
+
+impl GasMeter {
+    /// Create a meter with a limit.
+    pub fn new(limit: u64) -> Self {
+        Self { limit, used: 0 }
+    }
+
+    /// Charge `amount` units; errors when the limit is crossed.
+    pub fn charge(&mut self, amount: u64) -> Result<(), ContractError> {
+        self.used = self.used.saturating_add(amount);
+        if self.used > self.limit {
+            Err(ContractError::OutOfGas { limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gas consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+/// An event emitted during execution (persisted in the receipt log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractEvent {
+    /// Emitting contract.
+    pub contract: ContractId,
+    /// Event name.
+    pub name: String,
+    /// Event payload.
+    pub data: Vec<u8>,
+}
+
+/// Execution context handed to a contract call.
+///
+/// Writes go into an overlay that is committed only if the call succeeds —
+/// a failed call cannot corrupt state.
+pub struct ContractCtx<'a> {
+    contract: ContractId,
+    base: &'a BTreeMap<(ContractId, Vec<u8>), Vec<u8>>,
+    overlay: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    events: Vec<ContractEvent>,
+    /// Caller account.
+    pub caller: AccountId,
+    /// Height of the block executing this call.
+    pub block_height: u64,
+    /// Timestamp of the executing block (ms).
+    pub timestamp_ms: u64,
+    /// Gas meter (contracts must charge for work).
+    pub gas: &'a mut GasMeter,
+}
+
+/// Gas schedule (coarse, deterministic).
+pub mod gas {
+    /// Base cost of any call.
+    pub const CALL: u64 = 100;
+    /// Cost per state read.
+    pub const READ: u64 = 10;
+    /// Cost per state write.
+    pub const WRITE: u64 = 25;
+    /// Cost per emitted event.
+    pub const EVENT: u64 = 5;
+    /// Cost per hashed byte.
+    pub const HASH_BYTE: u64 = 1;
+}
+
+impl ContractCtx<'_> {
+    /// Read a key from this contract's namespace.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
+        self.gas.charge(gas::READ)?;
+        if let Some(pending) = self.overlay.get(key) {
+            return Ok(pending.clone());
+        }
+        Ok(self.base.get(&(self.contract, key.to_vec())).cloned())
+    }
+
+    /// Write a key in this contract's namespace.
+    pub fn put(&mut self, key: &[u8], value: Vec<u8>) -> Result<(), ContractError> {
+        self.gas.charge(gas::WRITE)?;
+        self.overlay.insert(key.to_vec(), Some(value));
+        Ok(())
+    }
+
+    /// Delete a key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<(), ContractError> {
+        self.gas.charge(gas::WRITE)?;
+        self.overlay.insert(key.to_vec(), None);
+        Ok(())
+    }
+
+    /// Emit an event.
+    pub fn emit(&mut self, name: &str, data: Vec<u8>) -> Result<(), ContractError> {
+        self.gas.charge(gas::EVENT)?;
+        self.events.push(ContractEvent {
+            contract: self.contract,
+            name: name.to_string(),
+            data,
+        });
+        Ok(())
+    }
+}
+
+/// A deterministic contract: pure state transitions over its namespace.
+pub trait Contract: Send {
+    /// Registered name (defines the [`ContractId`]).
+    fn name(&self) -> &'static str;
+
+    /// Execute `method` with `args`, returning output bytes.
+    fn call(
+        &self,
+        ctx: &mut ContractCtx<'_>,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ContractError>;
+}
+
+/// Result of a successful invocation.
+#[derive(Debug, Clone)]
+pub struct InvocationReceipt {
+    /// Contract output bytes.
+    pub output: Vec<u8>,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Events emitted (also appended to the runtime log).
+    pub events: Vec<ContractEvent>,
+}
+
+/// Hosts contracts and their state; the execution layer of a chain node.
+#[derive(Default)]
+pub struct ContractRuntime {
+    contracts: BTreeMap<ContractId, Box<dyn Contract>>,
+    state: BTreeMap<(ContractId, Vec<u8>), Vec<u8>>,
+    log: Vec<ContractEvent>,
+}
+
+impl ContractRuntime {
+    /// Empty runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (deploy) a contract. Returns its id.
+    pub fn register(&mut self, contract: Box<dyn Contract>) -> ContractId {
+        let id = ContractId::from_name(contract.name());
+        self.contracts.insert(id, contract);
+        id
+    }
+
+    /// Whether a contract is deployed.
+    pub fn is_deployed(&self, id: &ContractId) -> bool {
+        self.contracts.contains_key(id)
+    }
+
+    /// Invoke a contract method.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke(
+        &mut self,
+        id: ContractId,
+        caller: AccountId,
+        method: &str,
+        args: &[u8],
+        gas_limit: u64,
+        block_height: u64,
+        timestamp_ms: u64,
+    ) -> Result<InvocationReceipt, ContractError> {
+        let contract = self
+            .contracts
+            .get(&id)
+            .ok_or(ContractError::UnknownContract(id))?;
+        let mut gas = GasMeter::new(gas_limit);
+        gas.charge(gas::CALL)?;
+        let mut ctx = ContractCtx {
+            contract: id,
+            base: &self.state,
+            overlay: BTreeMap::new(),
+            events: Vec::new(),
+            caller,
+            block_height,
+            timestamp_ms,
+            gas: &mut gas,
+        };
+        let output = contract.call(&mut ctx, method, args)?;
+        let overlay = ctx.overlay;
+        let events = ctx.events;
+        // Commit the overlay only on success.
+        for (key, value) in overlay {
+            match value {
+                Some(v) => {
+                    self.state.insert((id, key), v);
+                }
+                None => {
+                    self.state.remove(&(id, key));
+                }
+            }
+        }
+        self.log.extend(events.iter().cloned());
+        Ok(InvocationReceipt {
+            output,
+            gas_used: gas.used(),
+            events,
+        })
+    }
+
+    /// Read state directly (host-side inspection; charge-free).
+    pub fn read_state(&self, id: ContractId, key: &[u8]) -> Option<&Vec<u8>> {
+        self.state.get(&(id, key.to_vec()))
+    }
+
+    /// Full event log, oldest first.
+    pub fn events(&self) -> &[ContractEvent] {
+        &self.log
+    }
+
+    /// Deterministic digest over the entire state (block `state_root`).
+    pub fn state_root(&self) -> Hash256 {
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(self.state.len());
+        for ((cid, key), value) in &self.state {
+            let mut row = Vec::with_capacity(32 + key.len() + value.len() + 16);
+            row.extend_from_slice(cid.0.as_bytes());
+            row.extend_from_slice(&(key.len() as u64).to_le_bytes());
+            row.extend_from_slice(key);
+            row.extend_from_slice(&(value.len() as u64).to_le_bytes());
+            row.extend_from_slice(value);
+            parts.push(row);
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        hash_parts("blockprov-state-root", &refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test contract: counter with increment / get / fail methods.
+    struct Counter;
+
+    impl Contract for Counter {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn call(
+            &self,
+            ctx: &mut ContractCtx<'_>,
+            method: &str,
+            _args: &[u8],
+        ) -> Result<Vec<u8>, ContractError> {
+            match method {
+                "incr" => {
+                    let current = ctx
+                        .get(b"count")?
+                        .map(|v| u64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+                        .unwrap_or(0);
+                    ctx.put(b"count", (current + 1).to_le_bytes().to_vec())?;
+                    ctx.emit("incremented", (current + 1).to_le_bytes().to_vec())?;
+                    Ok((current + 1).to_le_bytes().to_vec())
+                }
+                "write_then_fail" => {
+                    ctx.put(b"count", 999u64.to_le_bytes().to_vec())?;
+                    Err(ContractError::Rejected("deliberate".into()))
+                }
+                other => Err(ContractError::UnknownMethod(other.to_string())),
+            }
+        }
+    }
+
+    fn runtime() -> (ContractRuntime, ContractId) {
+        let mut rt = ContractRuntime::new();
+        let id = rt.register(Box::new(Counter));
+        (rt, id)
+    }
+
+    fn caller() -> AccountId {
+        AccountId::from_name("caller")
+    }
+
+    #[test]
+    fn invoke_updates_state_and_emits() {
+        let (mut rt, id) = runtime();
+        let r1 = rt
+            .invoke(id, caller(), "incr", &[], 10_000, 1, 1000)
+            .unwrap();
+        assert_eq!(r1.output, 1u64.to_le_bytes());
+        assert_eq!(r1.events.len(), 1);
+        let r2 = rt
+            .invoke(id, caller(), "incr", &[], 10_000, 2, 2000)
+            .unwrap();
+        assert_eq!(r2.output, 2u64.to_le_bytes());
+        assert_eq!(rt.events().len(), 2);
+        assert!(r1.gas_used > 0);
+    }
+
+    #[test]
+    fn failed_call_rolls_back_writes() {
+        let (mut rt, id) = runtime();
+        rt.invoke(id, caller(), "incr", &[], 10_000, 1, 1000)
+            .unwrap();
+        let err = rt.invoke(id, caller(), "write_then_fail", &[], 10_000, 2, 2000);
+        assert!(matches!(err, Err(ContractError::Rejected(_))));
+        // State still shows 1, not 999.
+        let raw = rt.read_state(id, b"count").unwrap().clone();
+        assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn out_of_gas_aborts_without_commit() {
+        let (mut rt, id) = runtime();
+        // CALL(100) + READ(10) + WRITE(25) needs 135; give 120.
+        let err = rt.invoke(id, caller(), "incr", &[], 120, 1, 1000);
+        assert!(matches!(err, Err(ContractError::OutOfGas { .. })));
+        assert!(rt.read_state(id, b"count").is_none());
+    }
+
+    #[test]
+    fn unknown_contract_and_method() {
+        let (mut rt, id) = runtime();
+        let ghost = ContractId::from_name("ghost");
+        assert!(matches!(
+            rt.invoke(ghost, caller(), "x", &[], 1000, 0, 0),
+            Err(ContractError::UnknownContract(_))
+        ));
+        assert!(matches!(
+            rt.invoke(id, caller(), "nope", &[], 1000, 0, 0),
+            Err(ContractError::UnknownMethod(_))
+        ));
+    }
+
+    #[test]
+    fn state_root_changes_with_state_and_is_deterministic() {
+        let (mut rt, id) = runtime();
+        let empty = rt.state_root();
+        rt.invoke(id, caller(), "incr", &[], 10_000, 1, 1000)
+            .unwrap();
+        let one = rt.state_root();
+        assert_ne!(empty, one);
+
+        // Same operations ⇒ same root in a fresh runtime.
+        let (mut rt2, id2) = runtime();
+        rt2.invoke(id2, caller(), "incr", &[], 10_000, 1, 1000)
+            .unwrap();
+        assert_eq!(rt2.state_root(), one);
+    }
+
+    #[test]
+    fn overlay_reads_see_pending_writes() {
+        struct ReadBack;
+        impl Contract for ReadBack {
+            fn name(&self) -> &'static str {
+                "readback"
+            }
+            fn call(
+                &self,
+                ctx: &mut ContractCtx<'_>,
+                _m: &str,
+                _a: &[u8],
+            ) -> Result<Vec<u8>, ContractError> {
+                ctx.put(b"k", b"v1".to_vec())?;
+                let v = ctx.get(b"k")?.expect("pending write visible");
+                assert_eq!(v, b"v1");
+                ctx.delete(b"k")?;
+                assert_eq!(ctx.get(b"k")?, None, "pending delete visible");
+                Ok(vec![])
+            }
+        }
+        let mut rt = ContractRuntime::new();
+        let id = rt.register(Box::new(ReadBack));
+        rt.invoke(id, caller(), "run", &[], 10_000, 0, 0).unwrap();
+        assert!(rt.read_state(id, b"k").is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 2 — "Considerations in Blockchain Collaborative Applications for
+//! Provenance Across Domains" — as data.
+//!
+//! Each domain crate implements the mechanisms behind its column; this
+//! module carries the table itself so the bench harness can regenerate it
+//! (experiment T2) and examples can introspect the design space.
+
+use blockprov_provenance::Domain;
+
+/// One column of Table 2: a domain and its design considerations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainProfile {
+    /// The domain.
+    pub domain: Domain,
+    /// The consideration rows, in the paper's order.
+    pub considerations: &'static [&'static str],
+    /// Which blockprov crate implements the mechanisms.
+    pub implemented_by: &'static str,
+}
+
+/// The five columns of the paper's Table 2.
+pub fn table2() -> Vec<DomainProfile> {
+    vec![
+        DomainProfile {
+            domain: Domain::ScientificCollaboration,
+            considerations: &[
+                "Intellectual property",
+                "Managing data workflow, private data inputs",
+                "Flexibility for re-execution",
+                "Invalidating tasks",
+            ],
+            implemented_by: "blockprov-sciwork",
+        },
+        DomainProfile {
+            domain: Domain::DigitalForensics,
+            considerations: &[
+                "Coordination of investigation stages",
+                "Handling multi-modal data",
+                "Utilizing AI/ML techniques",
+                "Analyzing encrypted data",
+            ],
+            implemented_by: "blockprov-forensics",
+        },
+        DomainProfile {
+            domain: Domain::MachineLearning,
+            considerations: &[
+                "Monitoring data gathering for training",
+                "Addressing non-IID data",
+                "Documenting all steps of training",
+                "Managing statistical heterogeneity",
+            ],
+            implemented_by: "blockprov-mlprov",
+        },
+        DomainProfile {
+            domain: Domain::SupplyChain,
+            considerations: &[
+                "Device ownership transfer",
+                "Illegitimate product registration",
+                "Incentives to share provenance",
+                "Focus on specific industries",
+            ],
+            implemented_by: "blockprov-supply",
+        },
+        DomainProfile {
+            domain: Domain::Healthcare,
+            considerations: &[
+                "Determining data ownership",
+                "Manager of access",
+                "HIPAA",
+                "Goals of collaborations",
+            ],
+            implemented_by: "blockprov-health",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_five_domains_with_four_rows_each() {
+        let t = table2();
+        assert_eq!(t.len(), 5);
+        for profile in &t {
+            assert_eq!(profile.considerations.len(), 4, "{:?}", profile.domain);
+            assert!(profile.implemented_by.starts_with("blockprov-"));
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_cells() {
+        let t = table2();
+        let supply = t.iter().find(|p| p.domain == Domain::SupplyChain).unwrap();
+        assert!(supply
+            .considerations
+            .contains(&"Illegitimate product registration"));
+        let health = t.iter().find(|p| p.domain == Domain::Healthcare).unwrap();
+        assert!(health.considerations.contains(&"HIPAA"));
+        let ml = t
+            .iter()
+            .find(|p| p.domain == Domain::MachineLearning)
+            .unwrap();
+        assert!(ml.considerations.contains(&"Addressing non-IID data"));
+    }
+}

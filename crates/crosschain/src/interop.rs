@@ -1,0 +1,570 @@
+//! A unified cross-chain interoperability interface — the "unified
+//! solution" the survey's future-work section calls for.
+//!
+//! RQ3's standardization challenge: "structural differences in cross-chain
+//! processes designed by various solutions pose standardization challenges,
+//! necessitating a unified approach" (§1), and §6.2 asks for "a unified
+//! solution that encompasses communication methods, provenance capture, and
+//! query mechanisms".
+//!
+//! This module defines that unified contract as a trait, implements it over
+//! every mechanism family the paper lists in §2.3 — notary schemes, relay
+//! chains, hash-locking, and anchored side chains — and ships a
+//! **conformance suite** that any connector must pass:
+//!
+//! 1. *delivery* — a transfer yields a receipt the destination can verify;
+//! 2. *authenticity* — verification fails for any tampered payload;
+//! 3. *provenance capture* — every transfer appends a queryable record;
+//! 4. *query* — the provenance log is retrievable by message digest.
+//!
+//! The conformance suite is exactly the standardization artifact the paper
+//! says is missing: one behavioral contract, many mechanisms.
+
+use crate::htlc::AssetChain;
+use crate::notary::{Attestation, CrossChainEvent, NotaryCommittee};
+use crate::relay::RelayChain;
+use crate::twolayer::{SideRecord, TwoLayerNetwork};
+use blockprov_crypto::sha256::{hash_parts, Hash256};
+use blockprov_ledger::chain::{Chain, ChainConfig, TxInclusionProof};
+use blockprov_ledger::tx::{AccountId, Transaction};
+use std::fmt;
+
+/// A chain-to-chain message in the unified model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteropMessage {
+    /// Source chain label.
+    pub source: String,
+    /// Destination chain label.
+    pub dest: String,
+    /// Opaque payload (asset transfer, provenance record, stage sync…).
+    pub payload: Vec<u8>,
+    /// Sender-chosen uniqueness nonce.
+    pub nonce: u64,
+}
+
+impl InteropMessage {
+    /// Canonical digest of the message.
+    pub fn digest(&self) -> Hash256 {
+        hash_parts(
+            "blockprov-interop-msg",
+            &[
+                self.source.as_bytes(),
+                self.dest.as_bytes(),
+                &self.payload,
+                &self.nonce.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+/// Mechanism-specific delivery evidence.
+#[derive(Debug, Clone)]
+pub enum DeliveryReceipt {
+    /// Threshold attestation by a notary committee.
+    Notary(Attestation),
+    /// Inclusion proof against a relayed header.
+    Relay {
+        /// Source chain id registered at the relay.
+        chain_id: String,
+        /// The proof.
+        proof: TxInclusionProof,
+    },
+    /// Hash-lock claim: revealing the preimage proves delivery.
+    Htlc {
+        /// Contract id on the destination chain.
+        contract: Hash256,
+        /// The revealed preimage.
+        preimage: Vec<u8>,
+    },
+    /// Record anchored via a two-layer main chain.
+    Anchored {
+        /// Side chain the record landed on.
+        side: usize,
+        /// Side height of the containing block.
+        height: u64,
+    },
+}
+
+/// A captured transfer (the unified provenance record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Message digest.
+    pub digest: Hash256,
+    /// Mechanism that carried it.
+    pub mechanism: &'static str,
+    /// Monotonic sequence number within the connector.
+    pub seq: u64,
+}
+
+/// Errors from connectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InteropError {
+    /// The mechanism refused the transfer.
+    TransferFailed(String),
+}
+
+impl fmt::Display for InteropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InteropError::TransferFailed(m) => write!(f, "transfer failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InteropError {}
+
+/// The unified cross-chain contract (§6.2 "unified solution"): one
+/// interface over communication, provenance capture and query.
+pub trait ChainConnector {
+    /// Mechanism family name (paper §2.3 taxonomy).
+    fn mechanism(&self) -> &'static str;
+
+    /// Carry `msg` across; returns verifiable delivery evidence.
+    fn transfer(&mut self, msg: &InteropMessage) -> Result<DeliveryReceipt, InteropError>;
+
+    /// Destination-side verification of delivery evidence.
+    fn verify(&self, msg: &InteropMessage, receipt: &DeliveryReceipt) -> bool;
+
+    /// Captured transfer provenance, oldest first.
+    fn transfer_log(&self) -> &[TransferRecord];
+
+    /// Query provenance by message digest (§6.2 query mechanism).
+    fn find_transfer(&self, digest: &Hash256) -> Option<&TransferRecord> {
+        self.transfer_log().iter().find(|r| r.digest == *digest)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Notary connector
+// ---------------------------------------------------------------------------
+
+/// Notary-scheme connector: a committee attests the message event.
+pub struct NotaryConnector {
+    committee: NotaryCommittee,
+    log: Vec<TransferRecord>,
+}
+
+impl NotaryConnector {
+    /// Committee of `n` with threshold `t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        Self { committee: NotaryCommittee::new(n, t), log: Vec::new() }
+    }
+}
+
+impl ChainConnector for NotaryConnector {
+    fn mechanism(&self) -> &'static str {
+        "notary"
+    }
+
+    fn transfer(&mut self, msg: &InteropMessage) -> Result<DeliveryReceipt, InteropError> {
+        let digest = msg.digest();
+        let event = CrossChainEvent {
+            chain: msg.source.clone(),
+            block: blockprov_ledger::block::BlockHash(digest),
+            height: self.log.len() as u64,
+            tx: digest,
+        };
+        let signers: Vec<usize> = (0..self.committee.threshold()).collect();
+        let attestation = self.committee.attest(&event, &signers);
+        self.log.push(TransferRecord {
+            digest,
+            mechanism: self.mechanism(),
+            seq: self.log.len() as u64,
+        });
+        Ok(DeliveryReceipt::Notary(attestation))
+    }
+
+    fn verify(&self, msg: &InteropMessage, receipt: &DeliveryReceipt) -> bool {
+        let DeliveryReceipt::Notary(att) = receipt else { return false };
+        att.event.tx == msg.digest()
+            && NotaryCommittee::verify(
+                self.committee.public_keys(),
+                self.committee.threshold(),
+                att,
+            )
+    }
+
+    fn transfer_log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relay connector
+// ---------------------------------------------------------------------------
+
+/// Relay-chain connector: the message is a transaction on the source chain;
+/// the destination verifies an inclusion proof against the relayed header.
+pub struct RelayConnector {
+    chain_id: String,
+    source: Chain,
+    relay: RelayChain,
+    sender: AccountId,
+    log: Vec<TransferRecord>,
+}
+
+impl RelayConnector {
+    /// New connector with its own source chain registered at a relay.
+    pub fn new(chain_id: &str) -> Self {
+        let mut relay = RelayChain::new();
+        relay.register_chain(chain_id);
+        Self {
+            chain_id: chain_id.to_string(),
+            source: Chain::new(ChainConfig::default()),
+            relay,
+            sender: AccountId::from_name("interop-sender"),
+            log: Vec::new(),
+        }
+    }
+}
+
+impl ChainConnector for RelayConnector {
+    fn mechanism(&self) -> &'static str {
+        "relay"
+    }
+
+    fn transfer(&mut self, msg: &InteropMessage) -> Result<DeliveryReceipt, InteropError> {
+        let digest = msg.digest();
+        let seq = self.log.len() as u64;
+        let tx = Transaction::new(self.sender, seq, (seq + 1) * 1000, 3, digest.0.to_vec());
+        let tx_id = tx.id();
+        let block =
+            self.source
+                .assemble_next((seq + 1) * 1000, self.sender, 0, vec![tx]);
+        self.source
+            .append(block)
+            .map_err(|e| InteropError::TransferFailed(format!("append: {e:?}")))?;
+        // Ship the new header to the relay.
+        let tip_hash = *self
+            .source
+            .canonical_hashes()
+            .last()
+            .expect("chain nonempty after append");
+        let header = self.source.block(&tip_hash).expect("tip block").header.clone();
+        self.relay
+            .submit_header(&self.chain_id, header)
+            .map_err(|e| InteropError::TransferFailed(format!("relay: {e}")))?;
+        let proof = self
+            .source
+            .prove_tx(&tx_id)
+            .ok_or_else(|| InteropError::TransferFailed("no inclusion proof".into()))?;
+        self.log.push(TransferRecord { digest, mechanism: self.mechanism(), seq });
+        Ok(DeliveryReceipt::Relay { chain_id: self.chain_id.clone(), proof })
+    }
+
+    fn verify(&self, msg: &InteropMessage, receipt: &DeliveryReceipt) -> bool {
+        let DeliveryReceipt::Relay { chain_id, proof } = receipt else { return false };
+        // The proven transaction must carry this message's digest.
+        let expected = Transaction::new(
+            self.sender,
+            proof.header.height - 1,
+            proof.header.height * 1000,
+            3,
+            msg.digest().0.to_vec(),
+        );
+        expected.id() == proof.tx_id
+            && self.relay.verify_inclusion(chain_id, proof).unwrap_or(false)
+    }
+
+    fn transfer_log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTLC connector
+// ---------------------------------------------------------------------------
+
+/// Hash-locking connector: delivery is proven by revealing the preimage
+/// that claimed the destination-side lock.
+pub struct HtlcConnector {
+    dest: AssetChain,
+    sender: AccountId,
+    receiver: AccountId,
+    log: Vec<TransferRecord>,
+}
+
+impl HtlcConnector {
+    /// New connector with a funded destination escrow.
+    pub fn new() -> Self {
+        let mut dest = AssetChain::new("interop-dest");
+        let sender = AccountId::from_name("interop-sender");
+        let receiver = AccountId::from_name("interop-receiver");
+        dest.mint(sender, 1_000_000);
+        Self { dest, sender, receiver, log: Vec::new() }
+    }
+}
+
+impl Default for HtlcConnector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainConnector for HtlcConnector {
+    fn mechanism(&self) -> &'static str {
+        "hash-lock"
+    }
+
+    fn transfer(&mut self, msg: &InteropMessage) -> Result<DeliveryReceipt, InteropError> {
+        let digest = msg.digest();
+        // The preimage binds the lock to this exact message.
+        let preimage = hash_parts("blockprov-interop-preimage", &[digest.as_bytes()])
+            .0
+            .to_vec();
+        let hashlock = blockprov_crypto::sha256(&preimage);
+        let contract = self
+            .dest
+            .lock(self.sender, self.receiver, hashlock, 10_000, 1)
+            .map_err(|e| InteropError::TransferFailed(format!("lock: {e}")))?;
+        self.dest
+            .claim(&contract, &preimage)
+            .map_err(|e| InteropError::TransferFailed(format!("claim: {e}")))?;
+        self.log.push(TransferRecord {
+            digest,
+            mechanism: self.mechanism(),
+            seq: self.log.len() as u64,
+        });
+        Ok(DeliveryReceipt::Htlc { contract, preimage })
+    }
+
+    fn verify(&self, msg: &InteropMessage, receipt: &DeliveryReceipt) -> bool {
+        let DeliveryReceipt::Htlc { contract, preimage } = receipt else { return false };
+        // Preimage must derive from this message and match the claimed lock.
+        let expected =
+            hash_parts("blockprov-interop-preimage", &[msg.digest().as_bytes()]).0.to_vec();
+        if *preimage != expected {
+            return false;
+        }
+        self.dest.contract(contract).is_some_and(|c| {
+            c.hashlock == blockprov_crypto::sha256(preimage)
+                && c.state == crate::htlc::HtlcState::Claimed
+        })
+    }
+
+    fn transfer_log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anchored (two-layer) connector
+// ---------------------------------------------------------------------------
+
+/// Side-chain connector: the message is committed on a side chain whose tip
+/// is anchored on a main chain; verification replays the distributed audit.
+pub struct AnchoredConnector {
+    network: TwoLayerNetwork,
+    side: usize,
+    log: Vec<TransferRecord>,
+}
+
+impl AnchoredConnector {
+    /// New connector with one side chain.
+    pub fn new() -> Self {
+        let mut network = TwoLayerNetwork::new();
+        let side = network.add_side_chain("interop-v1");
+        Self { network, side, log: Vec::new() }
+    }
+}
+
+impl Default for AnchoredConnector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainConnector for AnchoredConnector {
+    fn mechanism(&self) -> &'static str {
+        "anchored-side-chain"
+    }
+
+    fn transfer(&mut self, msg: &InteropMessage) -> Result<DeliveryReceipt, InteropError> {
+        let digest = msg.digest();
+        let record = SideRecord { key: digest.to_string(), value: msg.payload.clone() };
+        let height = self
+            .network
+            .commit_side_block(self.side, vec![record])
+            .map_err(|e| InteropError::TransferFailed(format!("commit: {e}")))?;
+        self.network.anchor_all();
+        self.log.push(TransferRecord {
+            digest,
+            mechanism: self.mechanism(),
+            seq: self.log.len() as u64,
+        });
+        Ok(DeliveryReceipt::Anchored { side: self.side, height })
+    }
+
+    fn verify(&self, msg: &InteropMessage, receipt: &DeliveryReceipt) -> bool {
+        let DeliveryReceipt::Anchored { side, height } = receipt else { return false };
+        let Ok(report) = self.network.audit(*side, *height) else { return false };
+        if !report.passed() {
+            return false;
+        }
+        // The anchored block must contain this exact message.
+        self.network
+            .side(*side)
+            .and_then(|s| s.block(*height))
+            .is_some_and(|b| {
+                b.records.iter().any(|r| {
+                    r.key == msg.digest().to_string() && r.value == msg.payload
+                })
+            })
+    }
+
+    fn transfer_log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance suite
+// ---------------------------------------------------------------------------
+
+/// Result of running the unified conformance suite against a connector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Mechanism under test.
+    pub mechanism: &'static str,
+    /// Delivery + verification round trip.
+    pub delivery: bool,
+    /// Tampered payload rejected.
+    pub authenticity: bool,
+    /// Provenance captured per transfer.
+    pub provenance: bool,
+    /// Provenance queryable by digest.
+    pub query: bool,
+}
+
+impl ConformanceReport {
+    /// All conformance checks passed.
+    pub fn passed(&self) -> bool {
+        self.delivery && self.authenticity && self.provenance && self.query
+    }
+}
+
+/// Run the unified conformance suite against any connector.
+pub fn conformance<C: ChainConnector>(connector: &mut C) -> ConformanceReport {
+    let msg = InteropMessage {
+        source: "org-a".into(),
+        dest: "org-b".into(),
+        payload: b"conformance payload".to_vec(),
+        nonce: 7,
+    };
+    let before = connector.transfer_log().len();
+    let receipt = connector.transfer(&msg);
+    let delivery = receipt
+        .as_ref()
+        .map(|r| connector.verify(&msg, r))
+        .unwrap_or(false);
+    let authenticity = receipt
+        .as_ref()
+        .map(|r| {
+            let mut tampered = msg.clone();
+            tampered.payload = b"not the payload".to_vec();
+            !connector.verify(&tampered, r)
+        })
+        .unwrap_or(false);
+    let provenance = connector.transfer_log().len() == before + 1;
+    let query = connector.find_transfer(&msg.digest()).is_some();
+    ConformanceReport {
+        mechanism: connector.mechanism(),
+        delivery,
+        authenticity,
+        provenance,
+        query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(nonce: u64) -> InteropMessage {
+        InteropMessage {
+            source: "chain-a".into(),
+            dest: "chain-b".into(),
+            payload: format!("payload-{nonce}").into_bytes(),
+            nonce,
+        }
+    }
+
+    #[test]
+    fn notary_connector_conforms() {
+        let report = conformance(&mut NotaryConnector::new(4, 3));
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn relay_connector_conforms() {
+        let report = conformance(&mut RelayConnector::new("src"));
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn htlc_connector_conforms() {
+        let report = conformance(&mut HtlcConnector::new());
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn anchored_connector_conforms() {
+        let report = conformance(&mut AnchoredConnector::new());
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn receipts_are_not_interchangeable_across_messages() {
+        let mut c = NotaryConnector::new(4, 3);
+        let m1 = msg(1);
+        let m2 = msg(2);
+        let r1 = c.transfer(&m1).unwrap();
+        assert!(c.verify(&m1, &r1));
+        assert!(!c.verify(&m2, &r1), "receipt bound to its message");
+    }
+
+    #[test]
+    fn receipts_are_not_interchangeable_across_mechanisms() {
+        let mut notary = NotaryConnector::new(4, 3);
+        let mut htlc = HtlcConnector::new();
+        let m = msg(5);
+        let nr = notary.transfer(&m).unwrap();
+        let hr = htlc.transfer(&m).unwrap();
+        assert!(!notary.verify(&m, &hr));
+        assert!(!htlc.verify(&m, &nr));
+    }
+
+    #[test]
+    fn transfer_log_is_ordered_and_queryable() {
+        let mut c = RelayConnector::new("src");
+        for i in 0..5 {
+            c.transfer(&msg(i)).unwrap();
+        }
+        let log = c.transfer_log();
+        assert_eq!(log.len(), 5);
+        for (i, r) in log.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.mechanism, "relay");
+        }
+        assert!(c.find_transfer(&msg(3).digest()).is_some());
+        assert!(c.find_transfer(&msg(99).digest()).is_none());
+    }
+
+    #[test]
+    fn all_mechanisms_carry_the_same_message() {
+        // The unified interface: one message, four mechanisms.
+        let m = msg(42);
+        let mut notary = NotaryConnector::new(4, 3);
+        let mut relay = RelayConnector::new("src");
+        let mut htlc = HtlcConnector::new();
+        let mut anchored = AnchoredConnector::new();
+        let rn = notary.transfer(&m).unwrap();
+        let rr = relay.transfer(&m).unwrap();
+        let rh = htlc.transfer(&m).unwrap();
+        let ra = anchored.transfer(&m).unwrap();
+        assert!(notary.verify(&m, &rn));
+        assert!(relay.verify(&m, &rr));
+        assert!(htlc.verify(&m, &rh));
+        assert!(anchored.verify(&m, &ra));
+    }
+}

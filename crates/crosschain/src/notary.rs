@@ -1,0 +1,193 @@
+//! Notary-committee attestation of cross-chain events (§2.3's "notary
+//! schemes use intermediaries to facilitate transactions between chains").
+//!
+//! A committee of notaries observes an event on a source chain and signs
+//! it; an attestation with at least `threshold` valid signatures convinces
+//! the destination chain. This is the *trusted-third-party* end of the
+//! interoperability trust spectrum the paper contrasts with trustless
+//! HTLC/relay designs (§1, challenge one).
+
+use blockprov_crypto::sha256::Hash256;
+use blockprov_crypto::sig::{self, Keypair, OtsScheme, PublicKey, Signature};
+use blockprov_ledger::block::BlockHash;
+use blockprov_wire::{Codec, Writer};
+
+/// A cross-chain event to attest: "transaction `tx` is in block `block` at
+/// height `height` on chain `chain`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossChainEvent {
+    /// Source chain label.
+    pub chain: String,
+    /// Containing block.
+    pub block: BlockHash,
+    /// Block height.
+    pub height: u64,
+    /// Transaction digest.
+    pub tx: Hash256,
+}
+
+impl CrossChainEvent {
+    /// Canonical signing bytes.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.chain);
+        self.block.encode(&mut w);
+        w.put_u64(self.height);
+        self.tx.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A threshold attestation: signatures from committee members.
+#[derive(Debug, Clone)]
+pub struct Attestation {
+    /// The attested event.
+    pub event: CrossChainEvent,
+    /// `(member index, signature)` pairs.
+    pub signatures: Vec<(usize, Signature)>,
+}
+
+/// The notary committee.
+pub struct NotaryCommittee {
+    members: Vec<Keypair>,
+    public_keys: Vec<PublicKey>,
+    threshold: usize,
+}
+
+impl NotaryCommittee {
+    /// Create `n` notaries requiring `threshold` signatures.
+    pub fn new(n: usize, threshold: usize) -> Self {
+        Self::with_prefix("notary", n, threshold)
+    }
+
+    /// Create a committee whose keys derive from a distinct name prefix
+    /// (separate federations must not share keys).
+    pub fn with_prefix(prefix: &str, n: usize, threshold: usize) -> Self {
+        assert!(threshold > 0 && threshold <= n, "threshold in 1..=n");
+        let members: Vec<Keypair> = (0..n)
+            .map(|i| Keypair::from_name(&format!("{prefix}-{i}"), OtsScheme::Wots, 6))
+            .collect();
+        let public_keys = members.iter().map(Keypair::public_key).collect();
+        Self {
+            members,
+            public_keys,
+            threshold,
+        }
+    }
+
+    /// Committee size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the committee is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The verification keys (distributed to destination chains).
+    pub fn public_keys(&self) -> &[PublicKey] {
+        &self.public_keys
+    }
+
+    /// Required signature count.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Have the members at `signer_indices` attest the event.
+    ///
+    /// In production each notary independently checks the event against its
+    /// own view of the source chain; here the caller selects which notaries
+    /// "saw" it (enabling partial-committee experiments).
+    pub fn attest(&mut self, event: &CrossChainEvent, signer_indices: &[usize]) -> Attestation {
+        let bytes = event.signing_bytes();
+        let mut signatures = Vec::with_capacity(signer_indices.len());
+        for &i in signer_indices {
+            if let Some(member) = self.members.get_mut(i) {
+                if let Ok(sig) = member.sign(&bytes) {
+                    signatures.push((i, sig));
+                }
+            }
+        }
+        Attestation {
+            event: event.clone(),
+            signatures,
+        }
+    }
+
+    /// Verify an attestation against the committee's public keys.
+    pub fn verify(public_keys: &[PublicKey], threshold: usize, attestation: &Attestation) -> bool {
+        let bytes = attestation.event.signing_bytes();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut valid = 0;
+        for (index, signature) in &attestation.signatures {
+            if !seen.insert(*index) {
+                continue; // duplicate signer does not double-count
+            }
+            let Some(pk) = public_keys.get(*index) else {
+                continue;
+            };
+            if sig::verify(pk, &bytes, signature) {
+                valid += 1;
+            }
+        }
+        valid >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockprov_crypto::sha256::sha256;
+
+    fn event() -> CrossChainEvent {
+        CrossChainEvent {
+            chain: "org-A".into(),
+            block: BlockHash(sha256(b"block")),
+            height: 42,
+            tx: sha256(b"tx"),
+        }
+    }
+
+    #[test]
+    fn threshold_attestation_verifies() {
+        let mut committee = NotaryCommittee::new(5, 3);
+        let att = committee.attest(&event(), &[0, 2, 4]);
+        assert!(NotaryCommittee::verify(committee.public_keys(), 3, &att));
+    }
+
+    #[test]
+    fn below_threshold_rejected() {
+        let mut committee = NotaryCommittee::new(5, 3);
+        let att = committee.attest(&event(), &[0, 1]);
+        assert!(!NotaryCommittee::verify(committee.public_keys(), 3, &att));
+    }
+
+    #[test]
+    fn duplicate_signers_do_not_double_count() {
+        let mut committee = NotaryCommittee::new(5, 3);
+        let mut att = committee.attest(&event(), &[0, 1]);
+        // Replay member 0's signature a second time.
+        let dup = att.signatures[0].clone();
+        att.signatures.push(dup);
+        assert!(!NotaryCommittee::verify(committee.public_keys(), 3, &att));
+    }
+
+    #[test]
+    fn tampered_event_rejected() {
+        let mut committee = NotaryCommittee::new(4, 2);
+        let mut att = committee.attest(&event(), &[0, 1]);
+        att.event.height += 1;
+        assert!(!NotaryCommittee::verify(committee.public_keys(), 2, &att));
+    }
+
+    #[test]
+    fn foreign_signatures_rejected() {
+        let committee = NotaryCommittee::new(4, 2);
+        let mut rogue = NotaryCommittee::with_prefix("rogue", 4, 2);
+        // Rogue committee (different keys) signs the same event.
+        let att = rogue.attest(&event(), &[0, 1]);
+        assert!(!NotaryCommittee::verify(committee.public_keys(), 2, &att));
+    }
+}

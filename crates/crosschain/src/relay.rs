@@ -1,0 +1,247 @@
+//! Relay chain: cross-chain verification without a trusted third party.
+//!
+//! §2.3: "relay chains focus solely on data transfer between different
+//! chains". A relay chain stores the *headers* of member chains; any party
+//! holding a transaction's Merkle inclusion proof can then verify it against
+//! the relayed header — a light client of the foreign chain. This is the
+//! trustless mechanism Vassago and ForensiCross sit on.
+
+use blockprov_ledger::block::{BlockHash, BlockHeader};
+use blockprov_ledger::chain::TxInclusionProof;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relay failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// Chain id not registered with the relay.
+    UnknownChain(String),
+    /// Header does not extend the last relayed header.
+    BrokenLink {
+        /// Expected parent hash.
+        expected_parent: BlockHash,
+        /// Parent hash in the submitted header.
+        got_parent: BlockHash,
+    },
+    /// Header height is not the successor height.
+    BadHeight {
+        /// Expected height.
+        expected: u64,
+        /// Submitted height.
+        got: u64,
+    },
+    /// The header at this height was never relayed.
+    UnknownHeader(u64),
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::UnknownChain(c) => write!(f, "unknown chain {c}"),
+            RelayError::BrokenLink {
+                expected_parent,
+                got_parent,
+            } => {
+                write!(
+                    f,
+                    "header does not link: expected parent {expected_parent}, got {got_parent}"
+                )
+            }
+            RelayError::BadHeight { expected, got } => {
+                write!(f, "bad relayed height: expected {expected}, got {got}")
+            }
+            RelayError::UnknownHeader(h) => write!(f, "no relayed header at height {h}"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+#[derive(Debug, Default)]
+struct ChainTrack {
+    /// Relayed headers by height.
+    headers: BTreeMap<u64, BlockHeader>,
+    tip_hash: Option<BlockHash>,
+    tip_height: Option<u64>,
+}
+
+/// The relay chain: an append-only registry of member-chain headers.
+#[derive(Debug, Default)]
+pub struct RelayChain {
+    chains: BTreeMap<String, ChainTrack>,
+    /// Headers accepted (metric for relay overhead experiments).
+    pub headers_relayed: u64,
+}
+
+impl RelayChain {
+    /// Empty relay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a member chain.
+    pub fn register_chain(&mut self, id: &str) {
+        self.chains.entry(id.to_string()).or_default();
+    }
+
+    /// Submit the next header of a member chain.
+    ///
+    /// The first submitted header is accepted as the checkpoint; each later
+    /// header must link to the previous one by hash and height.
+    pub fn submit_header(&mut self, chain_id: &str, header: BlockHeader) -> Result<(), RelayError> {
+        let track = self
+            .chains
+            .get_mut(chain_id)
+            .ok_or_else(|| RelayError::UnknownChain(chain_id.to_string()))?;
+        if let (Some(tip_hash), Some(tip_height)) = (track.tip_hash, track.tip_height) {
+            if header.prev != tip_hash {
+                return Err(RelayError::BrokenLink {
+                    expected_parent: tip_hash,
+                    got_parent: header.prev,
+                });
+            }
+            if header.height != tip_height + 1 {
+                return Err(RelayError::BadHeight {
+                    expected: tip_height + 1,
+                    got: header.height,
+                });
+            }
+        }
+        track.tip_hash = Some(header.hash());
+        track.tip_height = Some(header.height);
+        track.headers.insert(header.height, header);
+        self.headers_relayed += 1;
+        Ok(())
+    }
+
+    /// Latest relayed height of a chain.
+    pub fn tip_height(&self, chain_id: &str) -> Option<u64> {
+        self.chains.get(chain_id).and_then(|t| t.tip_height)
+    }
+
+    /// The relayed header at a height.
+    pub fn header_at(&self, chain_id: &str, height: u64) -> Option<&BlockHeader> {
+        self.chains
+            .get(chain_id)
+            .and_then(|t| t.headers.get(&height))
+    }
+
+    /// Light-client verification: does this inclusion proof check out
+    /// against the header *the relay itself* holds for that chain/height?
+    pub fn verify_inclusion(
+        &self,
+        chain_id: &str,
+        proof: &TxInclusionProof,
+    ) -> Result<bool, RelayError> {
+        let track = self
+            .chains
+            .get(chain_id)
+            .ok_or_else(|| RelayError::UnknownChain(chain_id.to_string()))?;
+        let relayed = track
+            .headers
+            .get(&proof.header.height)
+            .ok_or(RelayError::UnknownHeader(proof.header.height))?;
+        // The proof's header must be byte-identical to the relayed one; then
+        // the Merkle path must bind the tx to that header.
+        Ok(relayed.hash() == proof.block_hash && proof.verify())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockprov_ledger::chain::{Chain, ChainConfig};
+    use blockprov_ledger::tx::{AccountId, Transaction};
+
+    fn chain_with_blocks(n: u64) -> Chain {
+        let mut c = Chain::new(ChainConfig::default());
+        for i in 0..n {
+            let tx = Transaction::new(AccountId::from_name("u"), i, i, 1, vec![i as u8]);
+            let b = c.assemble_next(1000 * (i + 1), AccountId::from_name("s"), 0, vec![tx]);
+            c.append(b).unwrap();
+        }
+        c
+    }
+
+    fn relay_all(relay: &mut RelayChain, id: &str, chain: &Chain) {
+        relay.register_chain(id);
+        for hash in chain.canonical_hashes() {
+            let header = chain.block(hash).unwrap().header.clone();
+            relay.submit_header(id, header).unwrap();
+        }
+    }
+
+    #[test]
+    fn relayed_headers_track_the_chain() {
+        let chain = chain_with_blocks(5);
+        let mut relay = RelayChain::new();
+        relay_all(&mut relay, "org-A", &chain);
+        assert_eq!(relay.tip_height("org-A"), Some(5));
+        assert_eq!(relay.headers_relayed, 6); // genesis + 5
+    }
+
+    #[test]
+    fn light_client_verifies_foreign_tx() {
+        let chain = chain_with_blocks(4);
+        let mut relay = RelayChain::new();
+        relay_all(&mut relay, "org-A", &chain);
+        // Pick a transaction and prove it.
+        let block = chain.block_at(2).unwrap();
+        let tx_id = block.txs[0].id();
+        let proof = chain.prove_tx(&tx_id).unwrap();
+        assert_eq!(relay.verify_inclusion("org-A", &proof), Ok(true));
+    }
+
+    #[test]
+    fn forged_proof_rejected_by_relay() {
+        let chain = chain_with_blocks(4);
+        let other = {
+            // A different chain with different txs at the same heights.
+            let mut c = Chain::new(ChainConfig::default());
+            for i in 0..4 {
+                let tx = Transaction::new(AccountId::from_name("evil"), i, i, 1, vec![0xFF]);
+                let b = c.assemble_next(2000 * (i + 1), AccountId::from_name("s"), 0, vec![tx]);
+                c.append(b).unwrap();
+            }
+            c
+        };
+        let mut relay = RelayChain::new();
+        relay_all(&mut relay, "org-A", &chain);
+        // Proof from the *other* chain cannot verify against org-A headers.
+        let foreign_block = other.block_at(2).unwrap();
+        let proof = other.prove_tx(&foreign_block.txs[0].id()).unwrap();
+        assert_eq!(relay.verify_inclusion("org-A", &proof), Ok(false));
+    }
+
+    #[test]
+    fn non_linking_header_rejected() {
+        let chain = chain_with_blocks(3);
+        let mut relay = RelayChain::new();
+        relay.register_chain("org-A");
+        relay
+            .submit_header("org-A", chain.block_at(0).unwrap().header.clone())
+            .unwrap();
+        // Skipping height 1 breaks the link.
+        let err = relay.submit_header("org-A", chain.block_at(2).unwrap().header.clone());
+        assert!(matches!(err, Err(RelayError::BrokenLink { .. })));
+    }
+
+    #[test]
+    fn unknown_chain_and_height_errors() {
+        let chain = chain_with_blocks(2);
+        let relay = RelayChain::new();
+        let proof = chain
+            .prove_tx(&chain.block_at(1).unwrap().txs[0].id())
+            .unwrap();
+        assert!(matches!(
+            relay.verify_inclusion("ghost", &proof),
+            Err(RelayError::UnknownChain(_))
+        ));
+        let mut relay = RelayChain::new();
+        relay.register_chain("org-A");
+        assert!(matches!(
+            relay.verify_inclusion("org-A", &proof),
+            Err(RelayError::UnknownHeader(_))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Salted hash commitments.
+//!
+//! The minimal hiding/binding primitive used across the workspace: supply
+//! chain actors commit to telemetry before revealing it, forensics cases
+//! commit to sealed evidence, and the range-proof module builds on the same
+//! construction.
+
+use crate::sha256::{hash_parts, Hash256};
+use blockprov_wire::{Codec, Reader, WireError, Writer};
+
+/// A binding, hiding commitment `H(domain || value || salt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Commitment(pub Hash256);
+
+impl Commitment {
+    /// Commit to `value` under a 32-byte salt.
+    pub fn commit(value: &[u8], salt: &[u8; 32]) -> Self {
+        Commitment(hash_parts("blockprov-commit", &[value, salt]))
+    }
+
+    /// Check an opening.
+    pub fn verify(&self, value: &[u8], salt: &[u8; 32]) -> bool {
+        Self::commit(value, salt) == *self
+    }
+}
+
+impl Codec for Commitment {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Commitment(Hash256::decode(r)?))
+    }
+}
+
+/// An opening for a commitment: the value plus its salt.
+///
+/// Kept off-chain until reveal time; the commitment alone goes on-chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opening {
+    /// Committed value bytes.
+    pub value: Vec<u8>,
+    /// Blinding salt.
+    pub salt: [u8; 32],
+}
+
+impl Opening {
+    /// The commitment this opening satisfies.
+    pub fn commitment(&self) -> Commitment {
+        Commitment::commit(&self.value, &self.salt)
+    }
+}
+
+impl Codec for Opening {
+    fn encode(&self, w: &mut Writer) {
+        self.value.encode(w);
+        w.put_raw(&self.salt);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let value = Vec::<u8>::decode(r)?;
+        let raw = r.get_raw(32)?;
+        let mut salt = [0u8; 32];
+        salt.copy_from_slice(raw);
+        Ok(Self { value, salt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmac::HmacDrbg;
+
+    #[test]
+    fn commit_and_open() {
+        let mut drbg = HmacDrbg::new(b"salts");
+        let salt = drbg.next_bytes32();
+        let c = Commitment::commit(b"21.5C", &salt);
+        assert!(c.verify(b"21.5C", &salt));
+    }
+
+    #[test]
+    fn wrong_value_or_salt_fails() {
+        let salt = [7u8; 32];
+        let c = Commitment::commit(b"value", &salt);
+        assert!(!c.verify(b"other", &salt));
+        assert!(!c.verify(b"value", &[8u8; 32]));
+    }
+
+    #[test]
+    fn different_salts_hide_equal_values() {
+        let a = Commitment::commit(b"same", &[1u8; 32]);
+        let b = Commitment::commit(b"same", &[2u8; 32]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn opening_round_trip() {
+        let o = Opening {
+            value: b"payload".to_vec(),
+            salt: [9u8; 32],
+        };
+        let decoded = Opening::from_wire(&o.to_wire()).unwrap();
+        assert_eq!(decoded, o);
+        assert_eq!(decoded.commitment(), o.commitment());
+    }
+}

@@ -1,0 +1,293 @@
+//! HMAC-SHA256 (RFC 2104) and a deterministic HMAC-DRBG (SP 800-90A profile).
+//!
+//! The DRBG is the workspace's source of *protocol* randomness: anything that
+//! must be reproducible across nodes or runs (PoS leader election, hash-based
+//! key derivation, synthetic workload generation) derives from an explicit
+//! seed through it. OS randomness is never used on consensus paths.
+
+use crate::sha256::{Hash256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA256 over `data` with `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Hash256 {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kh = Sha256::new().chain(key).finalize();
+        key_block[..32].copy_from_slice(kh.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5Cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let inner = Sha256::new().chain(&ipad).chain(data).finalize();
+    Sha256::new()
+        .chain(&opad)
+        .chain(inner.as_bytes())
+        .finalize()
+}
+
+/// HMAC over several parts without concatenating them first.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Hash256 {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kh = Sha256::new().chain(key).finalize();
+        key_block[..32].copy_from_slice(kh.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5Cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new().chain(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner = inner.finalize();
+    Sha256::new()
+        .chain(&opad)
+        .chain(inner.as_bytes())
+        .finalize()
+}
+
+/// Deterministic random bit generator (HMAC-DRBG, SHA-256).
+///
+/// Two instances seeded identically produce identical streams — this is a
+/// feature, not a bug: consensus-critical sampling must agree across nodes.
+///
+/// ```
+/// use blockprov_crypto::hmac::HmacDrbg;
+/// let mut a = HmacDrbg::new(b"seed");
+/// let mut b = HmacDrbg::new(b"seed");
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone)]
+pub struct HmacDrbg {
+    k: [u8; 32],
+    v: [u8; 32],
+    reseed_counter: u64,
+}
+
+impl std::fmt::Debug for HmacDrbg {
+    /// Deliberately opaque: internal state is key material.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacDrbg")
+            .field("reseed_counter", &self.reseed_counter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HmacDrbg {
+    /// Instantiate from seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        let mut drbg = Self {
+            k: [0u8; 32],
+            v: [1u8; 32],
+            reseed_counter: 1,
+        };
+        drbg.update(Some(seed));
+        drbg
+    }
+
+    /// Instantiate from a digest (convenience for chained derivations).
+    pub fn from_hash(seed: &Hash256) -> Self {
+        Self::new(seed.as_bytes())
+    }
+
+    /// Mix additional entropy/material into the state.
+    pub fn reseed(&mut self, material: &[u8]) {
+        self.update(Some(material));
+        self.reseed_counter = 1;
+    }
+
+    fn update(&mut self, material: Option<&[u8]>) {
+        let m = material.unwrap_or(&[]);
+        self.k = hmac_sha256_parts(&self.k, &[&self.v, &[0x00], m]).0;
+        self.v = hmac_sha256(&self.k, &self.v).0;
+        if !m.is_empty() {
+            self.k = hmac_sha256_parts(&self.k, &[&self.v, &[0x01], m]).0;
+            self.v = hmac_sha256(&self.k, &self.v).0;
+        }
+    }
+
+    /// Fill `out` with deterministic pseudo-random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut filled = 0;
+        while filled < out.len() {
+            self.v = hmac_sha256(&self.k, &self.v).0;
+            let take = (out.len() - filled).min(32);
+            out[filled..filled + take].copy_from_slice(&self.v[..take]);
+            filled += take;
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+    }
+
+    /// Next 32 bytes as an array.
+    pub fn next_bytes32(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// Next 32 bytes as a digest-typed value.
+    pub fn next_hash(&mut self) -> Hash256 {
+        Hash256(self.next_bytes32())
+    }
+
+    /// Next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut out = [0u8; 8];
+        self.fill_bytes(&mut out);
+        u64::from_le_bytes(out)
+    }
+
+    /// Uniform value in `[0, bound)` via rejection sampling (`bound > 0`).
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            mac.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            mac.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // Key longer than a block must be hashed first.
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            mac.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equals_concatenation() {
+        let key = b"key";
+        let whole = hmac_sha256(key, b"abcdef");
+        let parts = hmac_sha256_parts(key, &[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn drbg_is_deterministic_and_seed_sensitive() {
+        let mut a = HmacDrbg::new(b"seed-1");
+        let mut b = HmacDrbg::new(b"seed-1");
+        let mut c = HmacDrbg::new(b"seed-2");
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut d = HmacDrbg::new(b"ranges");
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..50 {
+                assert!(d.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut d = HmacDrbg::new(b"coverage");
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[d.gen_range(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut d = HmacDrbg::new(b"floats");
+        for _ in 0..100 {
+            let f = d.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut d = HmacDrbg::new(b"shuffle");
+        let mut v: Vec<u32> = (0..50).collect();
+        d.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay in order"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_long_output() {
+        let mut d = HmacDrbg::new(b"long");
+        let mut buf = vec![0u8; 1000];
+        d.fill_bytes(&mut buf);
+        // Extremely unlikely to contain a run of 32 zero bytes.
+        assert!(!buf.windows(32).any(|w| w.iter().all(|&b| b == 0)));
+    }
+}

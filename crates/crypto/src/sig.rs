@@ -1,0 +1,483 @@
+//! Hash-based digital signatures.
+//!
+//! The workspace may not depend on external crypto crates, and implementing
+//! elliptic-curve arithmetic from scratch would be reckless, so signatures
+//! are hash-based — the one family whose security rests solely on the
+//! preimage resistance of the underlying hash (our own SHA-256):
+//!
+//! * **Lamport** one-time signatures — simple, fast keygen, ~16 KiB
+//!   signatures.
+//! * **WOTS** (Winternitz, w=16) one-time signatures — ~2.1 KiB signatures
+//!   at ~16× the chain work.
+//! * **MSS** (Merkle signature scheme) — a Merkle tree over `2^h` one-time
+//!   leaf keys turns either OTS into a many-time scheme with a single
+//!   32-byte public key. Signing is *stateful*: each leaf must be used at
+//!   most once, which [`Keypair::sign`] enforces.
+//!
+//! All secret material is derived from a 32-byte seed via HMAC-DRBG, so a
+//! keypair stores no secret arrays.
+
+use crate::hmac::hmac_sha256_parts;
+use crate::merkle::{leaf_hash, MerkleProof, MerkleTree};
+use crate::sha256::{sha256, Hash256, Sha256};
+use blockprov_wire::{decode_seq, encode_seq, Codec, Reader, WireError, Writer};
+use std::fmt;
+
+/// Which one-time scheme the keypair's leaves use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OtsScheme {
+    /// Lamport-Diffie: 2×256 secret values, reveal one per digest bit.
+    Lamport,
+    /// Winternitz with 4-bit chunks: 67 chains of length 16.
+    Wots,
+}
+
+impl Codec for OtsScheme {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            OtsScheme::Lamport => 0,
+            OtsScheme::Wots => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(OtsScheme::Lamport),
+            1 => Ok(OtsScheme::Wots),
+            v => Err(WireError::UnknownDiscriminant {
+                type_name: "OtsScheme",
+                value: v as u64,
+            }),
+        }
+    }
+}
+
+/// Errors from signing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigningError {
+    /// All `2^h` one-time leaves have been used.
+    KeyExhausted,
+}
+
+impl fmt::Display for SigningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigningError::KeyExhausted => write!(f, "all one-time signature leaves used"),
+        }
+    }
+}
+
+impl std::error::Error for SigningError {}
+
+// ---------------------------------------------------------------------------
+// One-time signature internals
+// ---------------------------------------------------------------------------
+
+const WOTS_W: u32 = 16;
+const WOTS_MSG_CHAINS: usize = 64; // 256 bits / 4 bits per chain
+const WOTS_CSUM_CHAINS: usize = 3; // ceil(log16(64 * 15)) = 3
+const WOTS_CHAINS: usize = WOTS_MSG_CHAINS + WOTS_CSUM_CHAINS;
+
+/// Derive the j-th secret value of leaf `leaf` from the keypair seed.
+fn derive_secret(seed: &[u8; 32], leaf: u64, j: u32) -> Hash256 {
+    hmac_sha256_parts(
+        seed,
+        &[b"blockprov-ots", &leaf.to_le_bytes(), &j.to_le_bytes()],
+    )
+}
+
+/// Iterate the chain hash `n` times.
+fn chain(mut v: Hash256, n: u32) -> Hash256 {
+    for _ in 0..n {
+        v = Sha256::new().chain(&[0x03]).chain(v.as_bytes()).finalize();
+    }
+    v
+}
+
+/// Split a digest into 64 base-16 digits plus the 3-digit Winternitz checksum.
+fn wots_digits(digest: &Hash256) -> [u8; WOTS_CHAINS] {
+    let mut out = [0u8; WOTS_CHAINS];
+    for (i, byte) in digest.0.iter().enumerate() {
+        out[2 * i] = byte >> 4;
+        out[2 * i + 1] = byte & 0x0F;
+    }
+    let csum: u32 = out[..WOTS_MSG_CHAINS]
+        .iter()
+        .map(|&d| (WOTS_W - 1) - d as u32)
+        .sum();
+    out[WOTS_MSG_CHAINS] = ((csum >> 8) & 0x0F) as u8;
+    out[WOTS_MSG_CHAINS + 1] = ((csum >> 4) & 0x0F) as u8;
+    out[WOTS_MSG_CHAINS + 2] = (csum & 0x0F) as u8;
+    out
+}
+
+/// Compute the compact public key of one WOTS leaf.
+pub(crate) fn wots_leaf_pk(seed: &[u8; 32], leaf: u64) -> Hash256 {
+    let mut h = Sha256::new().chain(b"wots-pk");
+    for j in 0..WOTS_CHAINS as u32 {
+        let end = chain(derive_secret(seed, leaf, j), WOTS_W - 1);
+        h.update(end.as_bytes());
+    }
+    h.finalize()
+}
+
+pub(crate) fn wots_sign(seed: &[u8; 32], leaf: u64, digest: &Hash256) -> Vec<Hash256> {
+    wots_digits(digest)
+        .iter()
+        .enumerate()
+        .map(|(j, &d)| chain(derive_secret(seed, leaf, j as u32), d as u32))
+        .collect()
+}
+
+pub(crate) fn wots_recover_pk(digest: &Hash256, sig: &[Hash256]) -> Option<Hash256> {
+    if sig.len() != WOTS_CHAINS {
+        return None;
+    }
+    let digits = wots_digits(digest);
+    let mut h = Sha256::new().chain(b"wots-pk");
+    for (j, part) in sig.iter().enumerate() {
+        let end = chain(*part, (WOTS_W - 1) - digits[j] as u32);
+        h.update(end.as_bytes());
+    }
+    Some(h.finalize())
+}
+
+const LAMPORT_PARTS: usize = 512; // 2 per digest bit
+
+/// Compact public key of one Lamport leaf.
+fn lamport_leaf_pk(seed: &[u8; 32], leaf: u64) -> Hash256 {
+    let mut h = Sha256::new().chain(b"lamport-pk");
+    for j in 0..LAMPORT_PARTS as u32 {
+        let pk_j = sha256(derive_secret(seed, leaf, j).as_bytes());
+        h.update(pk_j.as_bytes());
+    }
+    h.finalize()
+}
+
+/// Lamport signature: for bit k with value b, reveal secret `2k+b` and the
+/// *hash* of the unused counterpart so the verifier can rebuild the leaf pk.
+fn lamport_sign(seed: &[u8; 32], leaf: u64, digest: &Hash256) -> Vec<Hash256> {
+    let mut out = Vec::with_capacity(LAMPORT_PARTS);
+    for k in 0..256u32 {
+        let bit = (digest.0[(k / 8) as usize] >> (7 - (k % 8))) & 1;
+        let used = derive_secret(seed, leaf, 2 * k + bit as u32);
+        let unused_pk = sha256(derive_secret(seed, leaf, 2 * k + (1 - bit) as u32).as_bytes());
+        // Order: [revealed secret, counterpart public half].
+        out.push(used);
+        out.push(unused_pk);
+    }
+    out
+}
+
+fn lamport_recover_pk(digest: &Hash256, sig: &[Hash256]) -> Option<Hash256> {
+    if sig.len() != LAMPORT_PARTS {
+        return None;
+    }
+    let mut h = Sha256::new().chain(b"lamport-pk");
+    for k in 0..256usize {
+        let bit = (digest.0[k / 8] >> (7 - (k % 8))) & 1;
+        let revealed_pk = sha256(sig[2 * k].as_bytes());
+        let counterpart = sig[2 * k + 1];
+        // Reassemble in canonical (j = 2k, 2k+1) order.
+        let (pk0, pk1) = if bit == 0 {
+            (revealed_pk, counterpart)
+        } else {
+            (counterpart, revealed_pk)
+        };
+        h.update(pk0.as_bytes());
+        h.update(pk1.as_bytes());
+    }
+    Some(h.finalize())
+}
+
+// ---------------------------------------------------------------------------
+// Merkle signature scheme (many-time)
+// ---------------------------------------------------------------------------
+
+/// A stateful many-time signing key (MSS over one-time leaves).
+#[derive(Clone)]
+pub struct Keypair {
+    seed: [u8; 32],
+    scheme: OtsScheme,
+    height: u32,
+    tree: MerkleTree,
+    next_leaf: u64,
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Keypair")
+            .field("scheme", &self.scheme)
+            .field("height", &self.height)
+            .field("next_leaf", &self.next_leaf)
+            .field("root", &self.tree.root())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A verifying key: the MSS root plus scheme parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Merkle root over the one-time leaf public keys.
+    pub root: Hash256,
+    /// One-time scheme of the leaves.
+    pub scheme: OtsScheme,
+    /// Tree height (`2^height` one-time keys).
+    pub height: u32,
+}
+
+impl PublicKey {
+    /// Stable account identifier derived from the key.
+    pub fn id(&self) -> Hash256 {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        sha256(w.as_slice())
+    }
+}
+
+impl Codec for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.root.encode(w);
+        self.scheme.encode(w);
+        w.put_u8(self.height as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            root: Hash256::decode(r)?,
+            scheme: OtsScheme::decode(r)?,
+            height: r.get_u8()? as u32,
+        })
+    }
+}
+
+/// A signature: one-time signature + Merkle authentication of its leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Which one-time leaf signed.
+    pub leaf_index: u64,
+    /// One-time signature parts (scheme-dependent layout).
+    pub ots: Vec<Hash256>,
+    /// Proof that the leaf public key is under the MSS root.
+    pub auth_path: MerkleProof,
+}
+
+impl Codec for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.leaf_index);
+        encode_seq(&self.ots, w);
+        self.auth_path.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            leaf_index: r.get_varint()?,
+            ots: decode_seq(r)?,
+            auth_path: MerkleProof::decode(r)?,
+        })
+    }
+}
+
+impl Signature {
+    /// Serialized size in bytes (signature-size benches).
+    pub fn encoded_len(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+impl Keypair {
+    /// Generate a keypair from a seed.
+    ///
+    /// `height` bounds the number of signatures to `2^height`; keygen cost is
+    /// `O(2^height)` chain computations. Heights of 4–10 cover every workload
+    /// in this workspace.
+    pub fn generate(seed: [u8; 32], scheme: OtsScheme, height: u32) -> Self {
+        assert!(
+            height <= 20,
+            "MSS height above 2^20 leaves is not supported"
+        );
+        let leaves = 1u64 << height;
+        let leaf_hashes: Vec<Hash256> = (0..leaves)
+            .map(|i| {
+                let pk = match scheme {
+                    OtsScheme::Lamport => lamport_leaf_pk(&seed, i),
+                    OtsScheme::Wots => wots_leaf_pk(&seed, i),
+                };
+                leaf_hash(pk.as_bytes())
+            })
+            .collect();
+        let tree = MerkleTree::from_leaf_hashes(leaf_hashes);
+        Self {
+            seed,
+            scheme,
+            height,
+            tree,
+            next_leaf: 0,
+        }
+    }
+
+    /// Convenience: derive the seed from a name (tests, examples, workloads).
+    pub fn from_name(name: &str, scheme: OtsScheme, height: u32) -> Self {
+        Self::generate(sha256(name.as_bytes()).0, scheme, height)
+    }
+
+    /// The verifying key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey {
+            root: self.tree.root(),
+            scheme: self.scheme,
+            height: self.height,
+        }
+    }
+
+    /// Signatures remaining before exhaustion.
+    pub fn remaining(&self) -> u64 {
+        (1u64 << self.height) - self.next_leaf
+    }
+
+    /// Sign a message, consuming the next one-time leaf.
+    pub fn sign(&mut self, msg: &[u8]) -> Result<Signature, SigningError> {
+        let leaf = self.next_leaf;
+        if leaf >= (1u64 << self.height) {
+            return Err(SigningError::KeyExhausted);
+        }
+        self.next_leaf += 1;
+        let digest = message_digest(msg);
+        let ots = match self.scheme {
+            OtsScheme::Lamport => lamport_sign(&self.seed, leaf, &digest),
+            OtsScheme::Wots => wots_sign(&self.seed, leaf, &digest),
+        };
+        let auth_path = self.tree.prove(leaf as usize).expect("leaf index in range");
+        Ok(Signature {
+            leaf_index: leaf,
+            ots,
+            auth_path,
+        })
+    }
+}
+
+/// Domain-separated message digest (prevents cross-protocol replays).
+fn message_digest(msg: &[u8]) -> Hash256 {
+    Sha256::new()
+        .chain(b"blockprov-msg-v1")
+        .chain(msg)
+        .finalize()
+}
+
+/// Verify `sig` over `msg` under `pk`.
+pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    if sig.leaf_index >= (1u64 << pk.height) {
+        return false;
+    }
+    let digest = message_digest(msg);
+    let leaf_pk = match pk.scheme {
+        OtsScheme::Lamport => lamport_recover_pk(&digest, &sig.ots),
+        OtsScheme::Wots => wots_recover_pk(&digest, &sig.ots),
+    };
+    let Some(leaf_pk) = leaf_pk else { return false };
+    sig.auth_path
+        .verify_leaf_hash(&pk.root, &leaf_hash(leaf_pk.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(scheme: OtsScheme) -> Keypair {
+        Keypair::from_name("tester", scheme, 3)
+    }
+
+    #[test]
+    fn sign_verify_both_schemes() {
+        for scheme in [OtsScheme::Lamport, OtsScheme::Wots] {
+            let mut kp = pair(scheme);
+            let pk = kp.public_key();
+            let sig = kp.sign(b"hello provenance").unwrap();
+            assert!(verify(&pk, b"hello provenance", &sig), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        for scheme in [OtsScheme::Lamport, OtsScheme::Wots] {
+            let mut kp = pair(scheme);
+            let pk = kp.public_key();
+            let sig = kp.sign(b"original").unwrap();
+            assert!(!verify(&pk, b"tampered", &sig), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut kp = pair(OtsScheme::Wots);
+        let other = Keypair::from_name("other", OtsScheme::Wots, 3).public_key();
+        let sig = kp.sign(b"msg").unwrap();
+        assert!(!verify(&other, b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_part_rejected() {
+        let mut kp = pair(OtsScheme::Wots);
+        let pk = kp.public_key();
+        let mut sig = kp.sign(b"msg").unwrap();
+        sig.ots[5] = sha256(b"garbage");
+        assert!(!verify(&pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn leaves_are_consumed_and_exhaust() {
+        let mut kp = Keypair::from_name("small", OtsScheme::Wots, 2);
+        let pk = kp.public_key();
+        for i in 0..4 {
+            let msg = format!("msg-{i}");
+            let sig = kp.sign(msg.as_bytes()).unwrap();
+            assert_eq!(sig.leaf_index, i);
+            assert!(verify(&pk, msg.as_bytes(), &sig));
+        }
+        assert_eq!(kp.sign(b"one too many"), Err(SigningError::KeyExhausted));
+        assert_eq!(kp.remaining(), 0);
+    }
+
+    #[test]
+    fn signature_codec_round_trip() {
+        let mut kp = pair(OtsScheme::Wots);
+        let pk = kp.public_key();
+        let sig = kp.sign(b"wire me").unwrap();
+        let decoded = Signature::from_wire(&sig.to_wire()).unwrap();
+        assert_eq!(decoded, sig);
+        assert!(verify(&pk, b"wire me", &decoded));
+    }
+
+    #[test]
+    fn public_key_codec_and_id() {
+        let kp = pair(OtsScheme::Lamport);
+        let pk = kp.public_key();
+        let decoded = PublicKey::from_wire(&pk.to_wire()).unwrap();
+        assert_eq!(decoded, pk);
+        assert_eq!(decoded.id(), pk.id());
+        assert_ne!(pk.id(), pair(OtsScheme::Wots).public_key().id());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Keypair::from_name("same", OtsScheme::Wots, 2).public_key();
+        let b = Keypair::from_name("same", OtsScheme::Wots, 2).public_key();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wots_checksum_digits_cover_range() {
+        // All-zero digest maximizes the checksum (64 * 15 = 960 = 0x3C0).
+        let digits = wots_digits(&Hash256::ZERO);
+        assert_eq!(&digits[WOTS_MSG_CHAINS..], &[0x3, 0xC, 0x0]);
+        // All-0xF digest gives checksum zero.
+        let digits = wots_digits(&Hash256([0xFF; 32]));
+        assert_eq!(&digits[WOTS_MSG_CHAINS..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn wots_signature_is_much_smaller_than_lamport() {
+        let mut wots = pair(OtsScheme::Wots);
+        let mut lamport = pair(OtsScheme::Lamport);
+        let sw = wots.sign(b"size").unwrap().encoded_len();
+        let sl = lamport.sign(b"size").unwrap().encoded_len();
+        assert!(sw * 4 < sl, "wots {sw} vs lamport {sl}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for group signatures: verification totality, opening
+//! correctness, unlinkability of leaves, and tamper rejection.
+
+use blockprov_crypto::groupsig::{verify_group, GroupManager};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any member's signature over any message verifies, opens to the right
+    /// member, and never verifies for a different message.
+    #[test]
+    fn sign_verify_open(msg in proptest::collection::vec(any::<u8>(), 0..256),
+                        other in proptest::collection::vec(any::<u8>(), 0..256),
+                        member_idx in 0usize..3) {
+        let (mgr, mut members) =
+            GroupManager::setup(b"prop-group", &["a", "b", "c"], 4).unwrap();
+        let pk = mgr.group_public_key();
+        let name = members[member_idx].name().to_string();
+        let sig = members[member_idx].sign(&msg).unwrap();
+        prop_assert!(verify_group(&pk, &msg, &sig));
+        prop_assert_eq!(mgr.open(&msg, &sig), Some(name.as_str()));
+        if other != msg {
+            prop_assert!(!verify_group(&pk, &other, &sig));
+        }
+    }
+
+    /// Corrupting any OTS part invalidates the signature (and the manager
+    /// refuses to open it).
+    #[test]
+    fn corruption_rejected(part in 0usize..67, byte in 0usize..32, flip in 1u8..=255) {
+        let (mgr, mut members) =
+            GroupManager::setup(b"prop-group-2", &["x", "y"], 2).unwrap();
+        let pk = mgr.group_public_key();
+        let mut sig = members[0].sign(b"fixed message").unwrap();
+        let part = part % sig.ots.len();
+        let mut raw = sig.ots[part].0;
+        raw[byte] ^= flip;
+        sig.ots[part] = blockprov_crypto::Hash256::from(raw);
+        prop_assert!(!verify_group(&pk, b"fixed message", &sig));
+        prop_assert_eq!(mgr.open(b"fixed message", &sig), None);
+    }
+
+    /// Every signature a member produces consumes a distinct leaf: the
+    /// unlinkability invariant.
+    #[test]
+    fn leaves_never_repeat(count in 1usize..8) {
+        let (_, mut members) =
+            GroupManager::setup(b"prop-group-3", &["solo"], 8).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..count {
+            let sig = members[0].sign(format!("m{i}").as_bytes()).unwrap();
+            prop_assert!(seen.insert(sig.leaf_index), "leaf reused");
+        }
+    }
+}

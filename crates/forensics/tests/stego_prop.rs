@@ -1,0 +1,40 @@
+//! Property tests for the steganographic evidence container: round-trip
+//! identity, fail-closed corruption handling, and key separation.
+
+use blockprov_forensics::stego::StegoVault;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// seal → extract is the identity for any evidence and any cover seed.
+    #[test]
+    fn round_trip(evidence in proptest::collection::vec(any::<u8>(), 1..4096),
+                  prev_block in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let vault = StegoVault::new(b"prop-key");
+        let file = vault.seal(&evidence, &prev_block).unwrap();
+        prop_assert_eq!(vault.extract(&file).unwrap(), evidence);
+    }
+
+    /// Flipping any single byte anywhere in the container fails extraction.
+    #[test]
+    fn any_flip_fails(evidence in proptest::collection::vec(any::<u8>(), 1..1024),
+                      pos_frac in 0.0f64..1.0,
+                      flip in 1u8..=255) {
+        let vault = StegoVault::new(b"prop-key");
+        let mut file = vault.seal(&evidence, b"prev").unwrap();
+        let pos = ((file.bytes.len() - 1) as f64 * pos_frac) as usize;
+        file.bytes[pos] ^= flip;
+        prop_assert!(vault.extract(&file).is_err(), "flip at {pos} must fail");
+    }
+
+    /// A different key never opens the container.
+    #[test]
+    fn wrong_key_never_opens(evidence in proptest::collection::vec(any::<u8>(), 1..1024),
+                             key_a in proptest::collection::vec(any::<u8>(), 1..32),
+                             key_b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        prop_assume!(key_a != key_b);
+        let file = StegoVault::new(&key_a).seal(&evidence, b"prev").unwrap();
+        prop_assert!(StegoVault::new(&key_b).extract(&file).is_err());
+    }
+}

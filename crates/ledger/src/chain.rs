@@ -1,0 +1,772 @@
+//! The chain: validation, fork choice, canonical indexes and integrity
+//! verification.
+
+use crate::block::{Block, BlockHash, BlockHeader};
+use crate::store::{BlockStore, MemStore};
+use crate::tx::{AccountId, Transaction, TxId};
+use blockprov_crypto::merkle::MerkleProof;
+use blockprov_crypto::sha256::Hash256;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How strictly transaction signatures are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignaturePolicy {
+    /// Signatures ignored entirely (closed-world simulations, benches).
+    Off,
+    /// Signatures verified when present; unsigned transactions accepted.
+    IfPresent,
+    /// Every transaction must carry a valid signature.
+    Required,
+}
+
+/// Chain-level validation parameters.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Signature enforcement level.
+    pub signature_policy: SignaturePolicy,
+    /// Require headers to meet their stated PoW difficulty, and require a
+    /// non-zero difficulty.
+    pub require_pow: bool,
+    /// Maximum transactions per block.
+    pub max_block_txs: usize,
+    /// Allowed backwards clock drift between parent and child (ms).
+    pub timestamp_tolerance_ms: u64,
+    /// Enforce per-author nonce sequencing on the canonical chain.
+    pub enforce_nonces: bool,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        Self {
+            signature_policy: SignaturePolicy::IfPresent,
+            require_pow: false,
+            max_block_txs: 10_000,
+            timestamp_tolerance_ms: 5_000,
+            enforce_nonces: false,
+        }
+    }
+}
+
+/// Why a block was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Parent block not known.
+    UnknownParent(BlockHash),
+    /// Height is not parent height + 1.
+    BadHeight { expected: u64, got: u64 },
+    /// Unsupported block version.
+    BadVersion(u16),
+    /// Header Merkle root does not match the transactions.
+    BadTxRoot,
+    /// Too many transactions.
+    TooManyTxs { max: usize, got: usize },
+    /// A transaction id appears twice in the block.
+    DuplicateTx(TxId),
+    /// Header fails its own difficulty target (or PoW required but absent).
+    BadProofOfWork,
+    /// Timestamp regressed beyond tolerance.
+    BadTimestamp { parent_ms: u64, block_ms: u64 },
+    /// A transaction signature is missing or invalid.
+    BadSignature(TxId),
+    /// A transaction nonce does not continue its author's sequence.
+    BadNonce {
+        author: AccountId,
+        expected: u64,
+        got: u64,
+    },
+    /// The block is already stored.
+    Duplicate(BlockHash),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownParent(h) => write!(f, "unknown parent {h}"),
+            ValidationError::BadHeight { expected, got } => {
+                write!(f, "bad height: expected {expected}, got {got}")
+            }
+            ValidationError::BadVersion(v) => write!(f, "unsupported block version {v}"),
+            ValidationError::BadTxRoot => write!(f, "tx merkle root mismatch"),
+            ValidationError::TooManyTxs { max, got } => write!(f, "{got} txs exceeds limit {max}"),
+            ValidationError::DuplicateTx(id) => write!(f, "duplicate transaction {id}"),
+            ValidationError::BadProofOfWork => write!(f, "proof-of-work check failed"),
+            ValidationError::BadTimestamp {
+                parent_ms,
+                block_ms,
+            } => {
+                write!(f, "timestamp {block_ms} regressed from parent {parent_ms}")
+            }
+            ValidationError::BadSignature(id) => write!(f, "bad signature on {id}"),
+            ValidationError::BadNonce {
+                author,
+                expected,
+                got,
+            } => {
+                write!(f, "bad nonce for {author}: expected {expected}, got {got}")
+            }
+            ValidationError::Duplicate(h) => write!(f, "duplicate block {h}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Result of appending a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Hash of the appended block.
+    pub hash: BlockHash,
+    /// Whether the canonical tip moved to this block.
+    pub new_tip: bool,
+    /// Whether a reorganization occurred (tip moved to a different branch).
+    pub reorged: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    height: u64,
+    total_work: u128,
+    parent: BlockHash,
+}
+
+/// A proof that a transaction is included in a specific block.
+///
+/// Self-contained: the verifier needs only the expected canonical block hash
+/// (e.g. from a header relay or a trusted checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxInclusionProof {
+    /// The proven transaction id.
+    pub tx_id: TxId,
+    /// Hash of the containing block.
+    pub block_hash: BlockHash,
+    /// The containing block's header.
+    pub header: BlockHeader,
+    /// Merkle path from the transaction id to `header.tx_root`.
+    pub proof: MerkleProof,
+}
+
+impl TxInclusionProof {
+    /// Verify internal consistency: header hashes to `block_hash` and the
+    /// Merkle path binds `tx_id` to the header's root.
+    pub fn verify(&self) -> bool {
+        self.header.hash() == self.block_hash
+            && Block::verify_tx_proof(&self.header.tx_root, &self.tx_id, &self.proof)
+    }
+}
+
+/// Canonical-chain indexes (rebuilt on reorg).
+#[derive(Debug, Default)]
+struct ChainIndex {
+    tx_loc: HashMap<TxId, (BlockHash, u32)>,
+    by_author: HashMap<AccountId, Vec<TxId>>,
+    by_kind: HashMap<u16, Vec<TxId>>,
+    next_nonce: HashMap<AccountId, u64>,
+}
+
+impl ChainIndex {
+    fn absorb(&mut self, block: &Block) {
+        let hash = block.hash();
+        for (i, tx) in block.txs.iter().enumerate() {
+            let id = tx.id();
+            self.tx_loc.insert(id, (hash, i as u32));
+            self.by_author.entry(tx.author).or_default().push(id);
+            self.by_kind.entry(tx.kind).or_default().push(id);
+            let next = self.next_nonce.entry(tx.author).or_insert(0);
+            *next = (*next).max(tx.nonce + 1);
+        }
+    }
+}
+
+/// The blockchain: stores all blocks (forks included), tracks the heaviest
+/// tip, and maintains canonical-chain indexes.
+pub struct Chain {
+    config: ChainConfig,
+    store: Box<dyn BlockStore>,
+    meta: HashMap<BlockHash, BlockMeta>,
+    tip: BlockHash,
+    genesis: BlockHash,
+    /// `canonical[h]` = canonical block hash at height `h`.
+    canonical: Vec<BlockHash>,
+    index: ChainIndex,
+}
+
+impl Chain {
+    /// Create a chain with an in-memory store and a deterministic genesis.
+    pub fn new(config: ChainConfig) -> Self {
+        Self::with_store(Box::new(MemStore::new()), config)
+    }
+
+    /// Create a chain over a custom store.
+    ///
+    /// If the store already holds a genesis-compatible history it is *not*
+    /// replayed — this constructor always starts a fresh lineage. (Replay is
+    /// application-level: see `blockprov-core`.)
+    pub fn with_store(mut store: Box<dyn BlockStore>, config: ChainConfig) -> Self {
+        let genesis_block = Self::genesis_block();
+        let genesis = genesis_block.hash();
+        let arc = store.put(genesis_block).expect("store genesis");
+        let mut meta = HashMap::new();
+        meta.insert(
+            genesis,
+            BlockMeta {
+                height: 0,
+                total_work: 0,
+                parent: BlockHash::ZERO,
+            },
+        );
+        let mut index = ChainIndex::default();
+        index.absorb(&arc);
+        Self {
+            config,
+            store,
+            meta,
+            tip: genesis,
+            genesis,
+            canonical: vec![genesis],
+            index,
+        }
+    }
+
+    /// The deterministic genesis block shared by every chain instance.
+    pub fn genesis_block() -> Block {
+        Block::assemble(
+            0,
+            BlockHash::ZERO,
+            0,
+            AccountId::from_name("genesis"),
+            0,
+            Vec::new(),
+        )
+    }
+
+    /// Chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Current tip hash.
+    pub fn tip(&self) -> BlockHash {
+        self.tip
+    }
+
+    /// Current tip header.
+    pub fn tip_header(&self) -> BlockHeader {
+        self.store
+            .get(&self.tip)
+            .expect("tip exists")
+            .header
+            .clone()
+    }
+
+    /// Height of the tip (genesis = 0).
+    pub fn height(&self) -> u64 {
+        self.canonical.len() as u64 - 1
+    }
+
+    /// Genesis hash.
+    pub fn genesis(&self) -> BlockHash {
+        self.genesis
+    }
+
+    /// Fetch any stored block (canonical or fork).
+    pub fn block(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.store.get(hash)
+    }
+
+    /// Fetch the canonical block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<Arc<Block>> {
+        let hash = self.canonical.get(height as usize)?;
+        self.store.get(hash)
+    }
+
+    /// Whether `hash` lies on the canonical chain.
+    pub fn is_canonical(&self, hash: &BlockHash) -> bool {
+        self.meta
+            .get(hash)
+            .is_some_and(|m| self.canonical.get(m.height as usize) == Some(hash))
+    }
+
+    /// Total blocks stored (including forks).
+    pub fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes held by the block store (E3 storage accounting).
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.stored_bytes()
+    }
+
+    /// Next expected nonce for an author on the canonical chain.
+    pub fn next_nonce(&self, author: &AccountId) -> u64 {
+        self.index.next_nonce.get(author).copied().unwrap_or(0)
+    }
+
+    /// Locate a transaction on the canonical chain.
+    pub fn find_tx(&self, id: &TxId) -> Option<(Arc<Block>, u32)> {
+        let (hash, pos) = self.index.tx_loc.get(id)?;
+        Some((self.store.get(hash)?, *pos))
+    }
+
+    /// Fetch a transaction by id from the canonical chain.
+    pub fn get_tx(&self, id: &TxId) -> Option<Transaction> {
+        let (block, pos) = self.find_tx(id)?;
+        block.txs.get(pos as usize).cloned()
+    }
+
+    /// All canonical transaction ids by author, oldest first.
+    pub fn txs_by_author(&self, author: &AccountId) -> &[TxId] {
+        self.index.by_author.get(author).map_or(&[], Vec::as_slice)
+    }
+
+    /// All canonical transaction ids with the given kind tag, oldest first.
+    pub fn txs_by_kind(&self, kind: u16) -> &[TxId] {
+        self.index.by_kind.get(&kind).map_or(&[], Vec::as_slice)
+    }
+
+    /// Produce a self-contained inclusion proof for a canonical transaction.
+    pub fn prove_tx(&self, id: &TxId) -> Option<TxInclusionProof> {
+        let (block, pos) = self.find_tx(id)?;
+        let (tx_id, proof) = block.prove_tx(pos as usize)?;
+        Some(TxInclusionProof {
+            tx_id,
+            block_hash: block.hash(),
+            header: block.header.clone(),
+            proof,
+        })
+    }
+
+    /// Validate a block against its parent without inserting it.
+    pub fn validate(&self, block: &Block) -> Result<(), ValidationError> {
+        let hash = block.hash();
+        if self.meta.contains_key(&hash) {
+            return Err(ValidationError::Duplicate(hash));
+        }
+        if block.header.version != Block::VERSION {
+            return Err(ValidationError::BadVersion(block.header.version));
+        }
+        let parent_meta = self
+            .meta
+            .get(&block.header.prev)
+            .ok_or(ValidationError::UnknownParent(block.header.prev))?;
+        if block.header.height != parent_meta.height + 1 {
+            return Err(ValidationError::BadHeight {
+                expected: parent_meta.height + 1,
+                got: block.header.height,
+            });
+        }
+        if block.txs.len() > self.config.max_block_txs {
+            return Err(ValidationError::TooManyTxs {
+                max: self.config.max_block_txs,
+                got: block.txs.len(),
+            });
+        }
+        if !block.tx_root_valid() {
+            return Err(ValidationError::BadTxRoot);
+        }
+        // Duplicate tx ids within the block.
+        let mut seen = std::collections::HashSet::with_capacity(block.txs.len());
+        for tx in &block.txs {
+            let id = tx.id();
+            if !seen.insert(id) {
+                return Err(ValidationError::DuplicateTx(id));
+            }
+        }
+        // Timestamps: non-decreasing within tolerance.
+        let parent = self.store.get(&block.header.prev).expect("parent stored");
+        let parent_ms = parent.header.timestamp_ms;
+        if block.header.timestamp_ms + self.config.timestamp_tolerance_ms < parent_ms {
+            return Err(ValidationError::BadTimestamp {
+                parent_ms,
+                block_ms: block.header.timestamp_ms,
+            });
+        }
+        // Proof of work.
+        if self.config.require_pow && block.header.difficulty_bits == 0 {
+            return Err(ValidationError::BadProofOfWork);
+        }
+        if block.header.difficulty_bits > 0 && !block.header.meets_difficulty() {
+            return Err(ValidationError::BadProofOfWork);
+        }
+        // Signatures.
+        match self.config.signature_policy {
+            SignaturePolicy::Off => {}
+            SignaturePolicy::IfPresent => {
+                for tx in &block.txs {
+                    if tx.signature.is_some() && !tx.verify_signature() {
+                        return Err(ValidationError::BadSignature(tx.id()));
+                    }
+                }
+            }
+            SignaturePolicy::Required => {
+                for tx in &block.txs {
+                    if !tx.verify_signature() {
+                        return Err(ValidationError::BadSignature(tx.id()));
+                    }
+                }
+            }
+        }
+        // Nonces: enforced only for blocks extending the canonical tip (fork
+        // branches are re-validated wholesale if they win fork choice).
+        if self.config.enforce_nonces && block.header.prev == self.tip {
+            let mut expected: HashMap<AccountId, u64> = HashMap::new();
+            for tx in &block.txs {
+                let e = expected
+                    .entry(tx.author)
+                    .or_insert_with(|| self.next_nonce(&tx.author));
+                if tx.nonce != *e {
+                    return Err(ValidationError::BadNonce {
+                        author: tx.author,
+                        expected: *e,
+                        got: tx.nonce,
+                    });
+                }
+                *e += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and insert a block, updating fork choice.
+    pub fn append(&mut self, block: Block) -> Result<AppendOutcome, ValidationError> {
+        self.validate(&block)?;
+        let hash = block.hash();
+        let parent_meta = self.meta[&block.header.prev];
+        let meta = BlockMeta {
+            height: block.header.height,
+            total_work: parent_meta.total_work.saturating_add(block.header.work()),
+            parent: block.header.prev,
+        };
+        let extends_tip = block.header.prev == self.tip;
+        let arc = self.store.put(block).expect("store put");
+        self.meta.insert(hash, meta);
+
+        let tip_work = self.meta[&self.tip].total_work;
+        let wins = meta.total_work > tip_work;
+        if extends_tip {
+            // Fast path: extend canonical chain incrementally.
+            self.tip = hash;
+            self.canonical.push(hash);
+            self.index.absorb(&arc);
+            Ok(AppendOutcome {
+                hash,
+                new_tip: true,
+                reorged: false,
+            })
+        } else if wins {
+            // Reorg: rebuild the canonical path and indexes.
+            self.tip = hash;
+            self.rebuild_canonical();
+            Ok(AppendOutcome {
+                hash,
+                new_tip: true,
+                reorged: true,
+            })
+        } else {
+            Ok(AppendOutcome {
+                hash,
+                new_tip: false,
+                reorged: false,
+            })
+        }
+    }
+
+    fn rebuild_canonical(&mut self) {
+        let mut path = Vec::new();
+        let mut cursor = self.tip;
+        while cursor != BlockHash::ZERO {
+            path.push(cursor);
+            cursor = self.meta[&cursor].parent;
+        }
+        path.reverse();
+        self.canonical = path;
+        self.index = ChainIndex::default();
+        for hash in &self.canonical {
+            let block = self.store.get(hash).expect("canonical block stored");
+            self.index.absorb(&block);
+        }
+    }
+
+    /// Walk the canonical chain and re-verify every link: header hashes,
+    /// parent pointers, heights, Merkle roots and PoW targets.
+    ///
+    /// This is the auditor-side check of Figure 2 — any in-store tampering
+    /// surfaces here.
+    pub fn verify_integrity(&self) -> Result<(), ValidationError> {
+        let mut prev_hash = BlockHash::ZERO;
+        for (h, hash) in self.canonical.iter().enumerate() {
+            let block = self
+                .store
+                .get(hash)
+                .ok_or(ValidationError::UnknownParent(*hash))?;
+            if block.hash() != *hash {
+                return Err(ValidationError::BadTxRoot); // header bytes changed
+            }
+            if block.header.height != h as u64 {
+                return Err(ValidationError::BadHeight {
+                    expected: h as u64,
+                    got: block.header.height,
+                });
+            }
+            if block.header.prev != prev_hash {
+                return Err(ValidationError::UnknownParent(block.header.prev));
+            }
+            if !block.tx_root_valid() {
+                return Err(ValidationError::BadTxRoot);
+            }
+            if block.header.difficulty_bits > 0 && !block.header.meets_difficulty() {
+                return Err(ValidationError::BadProofOfWork);
+            }
+            prev_hash = *hash;
+        }
+        Ok(())
+    }
+
+    /// Iterate canonical block hashes from genesis to tip.
+    pub fn canonical_hashes(&self) -> impl Iterator<Item = &BlockHash> {
+        self.canonical.iter()
+    }
+
+    /// Convenience for sealing: assemble a child of the current tip.
+    pub fn assemble_next(
+        &self,
+        timestamp_ms: u64,
+        proposer: AccountId,
+        difficulty_bits: u32,
+        txs: Vec<Transaction>,
+    ) -> Block {
+        Block::assemble(
+            self.height() + 1,
+            self.tip,
+            timestamp_ms,
+            proposer,
+            difficulty_bits,
+            txs,
+        )
+    }
+
+    /// State root of the tip (ZERO when the application does not use one).
+    pub fn tip_state_root(&self) -> Hash256 {
+        self.tip_header().state_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(author: &str, nonce: u64) -> Transaction {
+        Transaction::new(
+            AccountId::from_name(author),
+            nonce,
+            1000 + nonce,
+            1,
+            vec![nonce as u8],
+        )
+    }
+
+    fn chain() -> Chain {
+        Chain::new(ChainConfig::default())
+    }
+
+    fn seal(chain: &mut Chain, txs: Vec<Transaction>) -> BlockHash {
+        let block = chain.assemble_next(
+            chain.tip_header().timestamp_ms + 1000,
+            AccountId::from_name("sealer"),
+            0,
+            txs,
+        );
+        chain.append(block).unwrap().hash
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        assert_eq!(chain().genesis(), chain().genesis());
+        assert_eq!(chain().height(), 0);
+    }
+
+    #[test]
+    fn linear_growth_and_lookup() {
+        let mut c = chain();
+        let t0 = tx("alice", 0);
+        let id0 = t0.id();
+        seal(&mut c, vec![t0, tx("bob", 0)]);
+        seal(&mut c, vec![tx("alice", 1)]);
+        assert_eq!(c.height(), 2);
+        assert_eq!(
+            c.get_tx(&id0).unwrap().author,
+            AccountId::from_name("alice")
+        );
+        assert_eq!(c.txs_by_author(&AccountId::from_name("alice")).len(), 2);
+        assert_eq!(c.txs_by_kind(1).len(), 3);
+        assert_eq!(c.next_nonce(&AccountId::from_name("alice")), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_parent_and_bad_height() {
+        let mut c = chain();
+        let mut b = c.assemble_next(1, AccountId::from_name("s"), 0, vec![]);
+        b.header.prev = BlockHash(blockprov_crypto::sha256::sha256(b"nope"));
+        assert!(matches!(
+            c.append(b),
+            Err(ValidationError::UnknownParent(_))
+        ));
+
+        let mut b = c.assemble_next(1, AccountId::from_name("s"), 0, vec![]);
+        b.header.height = 5;
+        assert!(matches!(
+            c.append(b),
+            Err(ValidationError::BadHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tx_root_and_duplicates() {
+        let mut c = chain();
+        let mut b = c.assemble_next(1, AccountId::from_name("s"), 0, vec![tx("a", 0)]);
+        b.txs.push(tx("b", 0)); // root now stale
+        assert_eq!(c.append(b), Err(ValidationError::BadTxRoot));
+
+        let t = tx("a", 0);
+        let b = c.assemble_next(1, AccountId::from_name("s"), 0, vec![t.clone(), t]);
+        assert!(matches!(c.append(b), Err(ValidationError::DuplicateTx(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_block() {
+        let mut c = chain();
+        let b = c.assemble_next(1000, AccountId::from_name("s"), 0, vec![]);
+        c.append(b.clone()).unwrap();
+        assert!(matches!(c.append(b), Err(ValidationError::Duplicate(_))));
+    }
+
+    #[test]
+    fn timestamps_may_tie_but_not_regress_beyond_tolerance() {
+        let mut c = Chain::new(ChainConfig {
+            timestamp_tolerance_ms: 10,
+            ..ChainConfig::default()
+        });
+        let b = Block::assemble(1, c.tip(), 50_000, AccountId::from_name("s"), 0, vec![]);
+        c.append(b).unwrap();
+        // Equal timestamp is allowed.
+        let tie = Block::assemble(2, c.tip(), 50_000, AccountId::from_name("s"), 0, vec![]);
+        c.append(tie).unwrap();
+        // Regressing past the tolerance is rejected.
+        let bad = Block::assemble(3, c.tip(), 10_000, AccountId::from_name("s"), 0, vec![]);
+        assert!(matches!(
+            c.append(bad),
+            Err(ValidationError::BadTimestamp { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_policy_required_rejects_unsigned() {
+        let mut c = Chain::new(ChainConfig {
+            signature_policy: SignaturePolicy::Required,
+            ..ChainConfig::default()
+        });
+        let b = c.assemble_next(1, AccountId::from_name("s"), 0, vec![tx("a", 0)]);
+        assert!(matches!(c.append(b), Err(ValidationError::BadSignature(_))));
+    }
+
+    #[test]
+    fn nonce_enforcement_on_tip_extension() {
+        let mut c = Chain::new(ChainConfig {
+            enforce_nonces: true,
+            ..ChainConfig::default()
+        });
+        let b = c.assemble_next(
+            1,
+            AccountId::from_name("s"),
+            0,
+            vec![tx("a", 0), tx("a", 1)],
+        );
+        c.append(b).unwrap();
+        // Skipping nonce 2 fails.
+        let b = c.assemble_next(2, AccountId::from_name("s"), 0, vec![tx("a", 3)]);
+        assert!(matches!(c.append(b), Err(ValidationError::BadNonce { .. })));
+        // Continuing works.
+        let b = c.assemble_next(2, AccountId::from_name("s"), 0, vec![tx("a", 2)]);
+        c.append(b).unwrap();
+    }
+
+    #[test]
+    fn fork_choice_prefers_heavier_work() {
+        let mut c = chain();
+        let a1 = seal(&mut c, vec![tx("a", 0)]);
+        assert_eq!(c.tip(), a1);
+
+        // Competing branch from genesis with two (zero-difficulty) blocks:
+        // work 2 beats work 1 ⇒ reorg.
+        let b1 = Block::assemble(
+            1,
+            c.genesis(),
+            500,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("r", 0)],
+        );
+        let b1h = b1.hash();
+        let out = c.append(b1).unwrap();
+        assert!(!out.new_tip, "equal work keeps existing tip");
+        let b2 = Block::assemble(
+            2,
+            b1h,
+            600,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("r", 1)],
+        );
+        let out = c.append(b2).unwrap();
+        assert!(out.new_tip && out.reorged);
+        assert_eq!(c.height(), 2);
+        // Index now reflects the rival branch only.
+        assert_eq!(c.txs_by_author(&AccountId::from_name("r")).len(), 2);
+        assert!(c.txs_by_author(&AccountId::from_name("a")).is_empty());
+        assert!(c.is_canonical(&b1h));
+        assert!(!c.is_canonical(&a1));
+    }
+
+    #[test]
+    fn inclusion_proofs_round_trip() {
+        let mut c = chain();
+        let t = tx("alice", 0);
+        let id = t.id();
+        seal(&mut c, vec![tx("x", 0), t, tx("y", 0)]);
+        let proof = c.prove_tx(&id).unwrap();
+        assert!(proof.verify());
+        assert!(c.is_canonical(&proof.block_hash));
+        // Forged header breaks verification.
+        let mut forged = proof.clone();
+        forged.header.timestamp_ms += 1;
+        assert!(!forged.verify());
+    }
+
+    #[test]
+    fn integrity_walk_passes_on_honest_chain() {
+        let mut c = chain();
+        for i in 0..10 {
+            seal(&mut c, vec![tx("w", i)]);
+        }
+        assert!(c.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn pow_requirement_enforced() {
+        let mut c = Chain::new(ChainConfig {
+            require_pow: true,
+            ..ChainConfig::default()
+        });
+        let b = c.assemble_next(1, AccountId::from_name("m"), 0, vec![]);
+        assert_eq!(c.append(b), Err(ValidationError::BadProofOfWork));
+
+        // Difficulty-1 block must actually meet the target.
+        let mut b = c.assemble_next(1, AccountId::from_name("m"), 1, vec![]);
+        while !b.header.meets_difficulty() {
+            b.header.nonce += 1;
+        }
+        c.append(b).unwrap();
+        assert!(c.verify_integrity().is_ok());
+    }
+}

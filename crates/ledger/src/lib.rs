@@ -1,0 +1,25 @@
+//! Ledger substrate: transactions, blocks, the chain store with fork choice,
+//! a mempool, and pluggable block storage.
+//!
+//! This is the "chain of blocks" of the paper's Figure 2: every block header
+//! carries the previous block's hash and a Merkle root over its transactions,
+//! so altering any historical transaction invalidates every later block —
+//! the tamper-evidence property all surveyed provenance systems inherit.
+//!
+//! The ledger is deliberately application-agnostic: a [`Transaction`] carries
+//! an opaque `kind` tag and payload, and upper layers (provenance records,
+//! smart-contract calls, cross-chain messages) define the semantics. This
+//! mirrors how ProvChain [47] rides on Bitcoin-style transactions and how
+//! Fabric-based systems ride on endorsed key/value writes.
+
+pub mod block;
+pub mod chain;
+pub mod mempool;
+pub mod store;
+pub mod tx;
+
+pub use block::{Block, BlockHash, BlockHeader};
+pub use chain::{Chain, ChainConfig, SignaturePolicy, ValidationError};
+pub use mempool::Mempool;
+pub use store::{BlockStore, FileStore, MemStore};
+pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

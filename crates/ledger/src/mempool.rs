@@ -1,0 +1,218 @@
+//! A FIFO mempool with per-author nonce views and replacement semantics.
+
+use crate::tx::{AccountId, Transaction, TxId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why a transaction was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Identical transaction already pending.
+    Duplicate(TxId),
+    /// Pool is at capacity.
+    Full { capacity: usize },
+}
+
+impl fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MempoolError::Duplicate(id) => write!(f, "duplicate transaction {id}"),
+            MempoolError::Full { capacity } => write!(f, "mempool full ({capacity})"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// Pending-transaction pool.
+///
+/// Admission is FIFO; a transaction with the same `(author, nonce)` as a
+/// pending one *replaces* it (client resubmission), which is the standard
+/// replacement rule that keeps nonce sequences gap-free.
+#[derive(Debug)]
+pub struct Mempool {
+    txs: HashMap<TxId, Transaction>,
+    /// (author, nonce) → pending tx (replacement key).
+    slots: HashMap<(AccountId, u64), TxId>,
+    /// Arrival order.
+    order: BTreeMap<u64, TxId>,
+    arrival_of: HashMap<TxId, u64>,
+    next_arrival: u64,
+    capacity: usize,
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Self::new(100_000)
+    }
+}
+
+impl Mempool {
+    /// Create a pool bounded at `capacity` transactions.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            txs: HashMap::new(),
+            slots: HashMap::new(),
+            order: BTreeMap::new(),
+            arrival_of: HashMap::new(),
+            next_arrival: 0,
+            capacity,
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Whether a transaction id is pending.
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.txs.contains_key(id)
+    }
+
+    /// Admit a transaction.
+    pub fn insert(&mut self, tx: Transaction) -> Result<TxId, MempoolError> {
+        let id = tx.id();
+        if self.txs.contains_key(&id) {
+            return Err(MempoolError::Duplicate(id));
+        }
+        let slot = (tx.author, tx.nonce);
+        let replacing = self.slots.get(&slot).copied();
+        if replacing.is_none() && self.txs.len() >= self.capacity {
+            return Err(MempoolError::Full {
+                capacity: self.capacity,
+            });
+        }
+        if let Some(old) = replacing {
+            self.remove(&old);
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.txs.insert(id, tx);
+        self.slots.insert(slot, id);
+        self.order.insert(arrival, id);
+        self.arrival_of.insert(id, arrival);
+        Ok(id)
+    }
+
+    /// Remove a transaction (committed elsewhere, expired, replaced).
+    pub fn remove(&mut self, id: &TxId) -> Option<Transaction> {
+        let tx = self.txs.remove(id)?;
+        self.slots.remove(&(tx.author, tx.nonce));
+        if let Some(arrival) = self.arrival_of.remove(id) {
+            self.order.remove(&arrival);
+        }
+        Some(tx)
+    }
+
+    /// Remove a batch of committed transactions.
+    pub fn remove_committed(&mut self, ids: &[TxId]) {
+        for id in ids {
+            self.remove(id);
+        }
+    }
+
+    /// Take up to `max` transactions in arrival order, removing them.
+    pub fn take_batch(&mut self, max: usize) -> Vec<Transaction> {
+        let ids: Vec<TxId> = self.order.values().take(max).copied().collect();
+        ids.iter().filter_map(|id| self.remove(id)).collect()
+    }
+
+    /// Peek the pending transactions in arrival order without removing.
+    pub fn peek_batch(&self, max: usize) -> Vec<&Transaction> {
+        self.order
+            .values()
+            .take(max)
+            .filter_map(|id| self.txs.get(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(author: &str, nonce: u64, tag: u8) -> Transaction {
+        Transaction::new(AccountId::from_name(author), nonce, nonce, 1, vec![tag])
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut p = Mempool::new(10);
+        p.insert(tx("a", 0, 1)).unwrap();
+        p.insert(tx("b", 0, 2)).unwrap();
+        p.insert(tx("a", 1, 3)).unwrap();
+        let batch = p.take_batch(10);
+        let tags: Vec<u8> = batch.iter().map(|t| t.payload[0]).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut p = Mempool::new(10);
+        let t = tx("a", 0, 1);
+        p.insert(t.clone()).unwrap();
+        assert!(matches!(p.insert(t), Err(MempoolError::Duplicate(_))));
+    }
+
+    #[test]
+    fn same_slot_replaces() {
+        let mut p = Mempool::new(10);
+        p.insert(tx("a", 0, 1)).unwrap();
+        // Same (author, nonce), different payload ⇒ replaces the old one.
+        p.insert(tx("a", 0, 9)).unwrap();
+        assert_eq!(p.len(), 1);
+        let batch = p.take_batch(10);
+        assert_eq!(batch[0].payload[0], 9);
+    }
+
+    #[test]
+    fn capacity_enforced_but_replacement_allowed_when_full() {
+        let mut p = Mempool::new(2);
+        p.insert(tx("a", 0, 1)).unwrap();
+        p.insert(tx("b", 0, 2)).unwrap();
+        assert!(matches!(
+            p.insert(tx("c", 0, 3)),
+            Err(MempoolError::Full { .. })
+        ));
+        // Replacement of an existing slot is allowed at capacity.
+        p.insert(tx("a", 0, 7)).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn take_batch_respects_max() {
+        let mut p = Mempool::new(100);
+        for i in 0..10 {
+            p.insert(tx("a", i, i as u8)).unwrap();
+        }
+        let batch = p.take_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn remove_committed_clears_entries() {
+        let mut p = Mempool::new(100);
+        let id0 = p.insert(tx("a", 0, 0)).unwrap();
+        let id1 = p.insert(tx("a", 1, 1)).unwrap();
+        p.remove_committed(&[id0]);
+        assert!(!p.contains(&id0));
+        assert!(p.contains(&id1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut p = Mempool::new(100);
+        p.insert(tx("a", 0, 0)).unwrap();
+        assert_eq!(p.peek_batch(10).len(), 1);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pluggable block storage: in-memory and append-only file-backed.
+
+use crate::block::{Block, BlockHash};
+use blockprov_wire::Codec;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Backing storage for blocks (forks included).
+///
+/// Returned blocks are `Arc`-shared so query layers can hold references
+/// without cloning transaction payloads.
+pub trait BlockStore: Send {
+    /// Persist a block.
+    fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>>;
+    /// Fetch a block by hash.
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>>;
+    /// Whether a block exists.
+    fn contains(&self, hash: &BlockHash) -> bool;
+    /// Number of stored blocks.
+    fn len(&self) -> usize;
+    /// True if no blocks are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total payload bytes stored (storage-overhead experiments, E3).
+    fn stored_bytes(&self) -> u64;
+}
+
+/// Volatile in-memory store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blocks: HashMap<BlockHash, Arc<Block>>,
+    bytes: u64,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
+        let hash = block.hash();
+        let arc = Arc::new(block);
+        if self.blocks.insert(hash, Arc::clone(&arc)).is_none() {
+            self.bytes += arc.encoded_len() as u64;
+        }
+        Ok(arc)
+    }
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.blocks.get(hash).cloned()
+    }
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.blocks.contains_key(hash)
+    }
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+    fn stored_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Append-only file store: `[u32 le length][block bytes]*` with an in-memory
+/// offset index rebuilt on open.
+///
+/// This is the durable backend used by the storage-overhead experiments; it
+/// keeps recently fetched blocks in a small cache because provenance queries
+/// revisit hot blocks.
+pub struct FileStore {
+    file: BufWriter<File>,
+    path: std::path::PathBuf,
+    offsets: HashMap<BlockHash, (u64, u32)>,
+    cache: HashMap<BlockHash, Arc<Block>>,
+    cache_cap: usize,
+    end: u64,
+}
+
+impl FileStore {
+    /// Open (or create) a store at `path`, scanning existing contents.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut offsets = HashMap::new();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut pos = 0u64;
+        loop {
+            let mut len_buf = [0u8; 4];
+            match reader.read_exact(&mut len_buf) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+            let len = u32::from_le_bytes(len_buf);
+            let mut body = vec![0u8; len as usize];
+            reader.read_exact(&mut body)?;
+            let block = Block::from_wire(&body).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt block at {pos}: {e}"),
+                )
+            })?;
+            offsets.insert(block.hash(), (pos + 4, len));
+            pos += 4 + len as u64;
+        }
+        Ok(Self {
+            file: BufWriter::new(file),
+            path,
+            offsets,
+            cache: HashMap::new(),
+            cache_cap: 256,
+            end: pos,
+        })
+    }
+
+    fn read_at(&self, offset: u64, len: u32) -> std::io::Result<Block> {
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut body = vec![0u8; len as usize];
+        f.read_exact(&mut body)?;
+        Block::from_wire(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+impl BlockStore for FileStore {
+    fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
+        let hash = block.hash();
+        if let Some(existing) = self.get(&hash) {
+            return Ok(existing);
+        }
+        let body = block.to_wire();
+        let len = body.len() as u32;
+        self.file.write_all(&len.to_le_bytes())?;
+        self.file.write_all(&body)?;
+        self.file.flush()?;
+        self.offsets.insert(hash, (self.end + 4, len));
+        self.end += 4 + body.len() as u64;
+        let arc = Arc::new(block);
+        if self.cache.len() >= self.cache_cap {
+            // Cheap eviction: drop an arbitrary entry (hot set is small).
+            if let Some(&k) = self.cache.keys().next() {
+                self.cache.remove(&k);
+            }
+        }
+        self.cache.insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        if let Some(hit) = self.cache.get(hash) {
+            return Some(Arc::clone(hit));
+        }
+        let &(offset, len) = self.offsets.get(hash)?;
+        self.read_at(offset, len).ok().map(Arc::new)
+    }
+
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.offsets.contains_key(hash)
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{AccountId, Transaction};
+
+    fn block(i: u64) -> Block {
+        Block::assemble(
+            i,
+            BlockHash::ZERO,
+            1000 * i,
+            AccountId::from_name("p"),
+            0,
+            vec![Transaction::new(
+                AccountId::from_name("a"),
+                i,
+                i,
+                1,
+                vec![i as u8; 16],
+            )],
+        )
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        let mut s = MemStore::new();
+        let b = block(1);
+        let h = b.hash();
+        s.put(b.clone()).unwrap();
+        assert!(s.contains(&h));
+        assert_eq!(*s.get(&h).unwrap(), b);
+        assert_eq!(s.len(), 1);
+        assert!(s.stored_bytes() > 0);
+        // Idempotent put does not double-count bytes.
+        let bytes = s.stored_bytes();
+        s.put(b).unwrap();
+        assert_eq!(s.stored_bytes(), bytes);
+    }
+
+    #[test]
+    fn file_store_round_trip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("blockprov-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.log");
+        let _ = std::fs::remove_file(&path);
+
+        let blocks: Vec<Block> = (0..5).map(block).collect();
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            for b in &blocks {
+                s.put(b.clone()).unwrap();
+            }
+            assert_eq!(s.len(), 5);
+            for b in &blocks {
+                assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+            }
+        }
+        // Reopen and re-read (index rebuilt by scan).
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.len(), 5);
+        for b in &blocks {
+            assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_missing_block() {
+        let dir = std::env::temp_dir().join(format!("blockprov-store-miss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.log");
+        let _ = std::fs::remove_file(&path);
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.get(&block(9).hash()).is_none());
+        assert!(s.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for BlockDFL: compression correctness and federation
+//! invariants.
+
+use blockprov_mlprov::blockdfl::{compress_topk, BlockDfl, DflConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Top-k keeps exactly min(k, dim) coordinates, each with the original
+    /// value, and every dropped coordinate has magnitude ≤ every kept one.
+    #[test]
+    fn topk_selects_largest(grad in proptest::collection::vec(-100.0f64..100.0, 1..64),
+                            k in 1usize..64) {
+        let s = compress_topk(&grad, k);
+        let kept = k.min(grad.len());
+        prop_assert_eq!(s.indices.len(), kept);
+        let min_kept = s
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(f64::INFINITY, f64::min);
+        for (i, &v) in grad.iter().enumerate() {
+            if s.indices.binary_search(&(i as u32)).is_ok() {
+                prop_assert_eq!(s.to_dense()[i], v);
+            } else {
+                prop_assert!(v.abs() <= min_kept + 1e-12);
+            }
+        }
+    }
+
+    /// Dense reconstruction never introduces values not in the original.
+    #[test]
+    fn dense_is_masked_original(grad in proptest::collection::vec(-10.0f64..10.0, 1..32),
+                                k in 1usize..32) {
+        let dense = compress_topk(&grad, k).to_dense();
+        prop_assert_eq!(dense.len(), grad.len());
+        for (d, g) in dense.iter().zip(&grad) {
+            prop_assert!(*d == 0.0 || *d == *g);
+        }
+    }
+
+    /// Federation invariants across random configurations: per-round
+    /// bookkeeping adds up and the round chain verifies.
+    #[test]
+    fn federation_bookkeeping(peers in 3usize..10,
+                              topk in 1usize..32,
+                              poison_pct in 0u8..40,
+                              rounds in 1u32..8) {
+        let config = DflConfig {
+            peers,
+            topk,
+            poisoner_fraction: poison_pct as f64 / 100.0,
+            dim: 32,
+            committee: (peers / 2).max(1),
+            ..DflConfig::default()
+        };
+        let mut fed = BlockDfl::new(config);
+        fed.run(rounds);
+        prop_assert_eq!(fed.rounds().len(), rounds as usize);
+        for r in fed.rounds() {
+            prop_assert_eq!(r.approved + r.rejected, peers);
+            prop_assert!(r.comm_bytes <= (peers * 32 * 12) as u64);
+            prop_assert!(r.distance.is_finite());
+        }
+        prop_assert!(fed.verify_chain());
+    }
+}

@@ -1,0 +1,427 @@
+//! Provenance query engine and the repeated-query cache.
+//!
+//! §6.1 "Provenance Query": *"sometimes precise information is extracted,
+//! while other times a batch of information containing the required data is
+//! retrieved"*. The engine supports both: precise subject/agent/time-window
+//! queries over indexes, whole-lineage retrieval, and batch execution.
+//!
+//! §6.2 lists **repeated queries** as under-explored future work — identical
+//! queries causing redundant retrievals. [`QueryCache`] implements the
+//! suggested optimization: a bounded memoization layer keyed by query
+//! digest, invalidated wholesale when the graph version advances, so cached
+//! answers can never go stale.
+
+use crate::graph::ProvGraph;
+use crate::model::{Action, Domain, ProvenanceRecord, RecordId};
+use blockprov_crypto::sha256::{hash_parts, Hash256};
+use blockprov_ledger::tx::AccountId;
+use std::collections::{BTreeMap, HashMap};
+
+/// A provenance query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProvQuery {
+    /// All records about a subject, oldest first.
+    BySubject(String),
+    /// All records authored by an agent.
+    ByAgent(AccountId),
+    /// Records in `[from_ms, until_ms)`.
+    ByTimeRange {
+        /// Inclusive lower bound (ms).
+        from_ms: u64,
+        /// Exclusive upper bound (ms).
+        until_ms: u64,
+    },
+    /// Records of a domain.
+    ByDomain(Domain),
+    /// Records with a given action.
+    ByAction(Action),
+    /// Full lineage of a subject: its records plus all their ancestors.
+    Lineage(String),
+}
+
+impl ProvQuery {
+    /// Stable digest of the query (cache key).
+    pub fn digest(&self) -> Hash256 {
+        match self {
+            ProvQuery::BySubject(s) => hash_parts("q-subject", &[s.as_bytes()]),
+            ProvQuery::ByAgent(a) => hash_parts("q-agent", &[a.0.as_bytes()]),
+            ProvQuery::ByTimeRange { from_ms, until_ms } => {
+                hash_parts("q-time", &[&from_ms.to_le_bytes(), &until_ms.to_le_bytes()])
+            }
+            ProvQuery::ByDomain(d) => hash_parts("q-domain", &[d.name().as_bytes()]),
+            ProvQuery::ByAction(a) => hash_parts("q-action", &[a.label().as_bytes()]),
+            ProvQuery::Lineage(s) => hash_parts("q-lineage", &[s.as_bytes()]),
+        }
+    }
+}
+
+/// A query answer: matching record ids in a deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Matching records, oldest first.
+    pub ids: Vec<RecordId>,
+    /// Whether this answer came from the cache.
+    pub from_cache: bool,
+}
+
+/// Indexed query engine over a [`ProvGraph`].
+///
+/// Indexes are maintained incrementally by [`QueryEngine::index_record`];
+/// the engine holds ids only — record bodies stay in the graph.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    by_subject: HashMap<String, Vec<RecordId>>,
+    by_agent: HashMap<AccountId, Vec<RecordId>>,
+    by_domain: HashMap<Domain, Vec<RecordId>>,
+    by_action: HashMap<String, Vec<RecordId>>,
+    by_time: BTreeMap<(u64, RecordId), RecordId>,
+    /// Monotonic version, bumped on every index mutation.
+    version: u64,
+}
+
+impl QueryEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an engine over every record already in a graph.
+    pub fn build_from(graph: &ProvGraph) -> Self {
+        let mut engine = Self::new();
+        for (id, record) in graph.iter() {
+            engine.index_record(*id, record);
+        }
+        engine
+    }
+
+    /// Index one record (call after inserting it into the graph).
+    pub fn index_record(&mut self, id: RecordId, record: &ProvenanceRecord) {
+        self.by_subject
+            .entry(record.subject.clone())
+            .or_default()
+            .push(id);
+        self.by_agent.entry(record.agent).or_default().push(id);
+        self.by_domain.entry(record.domain).or_default().push(id);
+        self.by_action
+            .entry(record.action.label().to_string())
+            .or_default()
+            .push(id);
+        self.by_time.insert((record.timestamp_ms, id), id);
+        self.version += 1;
+    }
+
+    /// Current index version (cache invalidation token).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Execute a query against the graph using the indexes.
+    pub fn execute(&self, graph: &ProvGraph, query: &ProvQuery) -> QueryResult {
+        let ids = match query {
+            ProvQuery::BySubject(s) => self.by_subject.get(s).cloned().unwrap_or_default(),
+            ProvQuery::ByAgent(a) => self.by_agent.get(a).cloned().unwrap_or_default(),
+            ProvQuery::ByDomain(d) => self.by_domain.get(d).cloned().unwrap_or_default(),
+            ProvQuery::ByAction(a) => self.by_action.get(a.label()).cloned().unwrap_or_default(),
+            ProvQuery::ByTimeRange { from_ms, until_ms } => self
+                .by_time
+                .range((*from_ms, RecordId(Hash256::ZERO))..(*until_ms, RecordId(Hash256::ZERO)))
+                .map(|(_, id)| *id)
+                .collect(),
+            ProvQuery::Lineage(s) => {
+                let own = self.by_subject.get(s).cloned().unwrap_or_default();
+                let mut out = Vec::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for id in own {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                    if let Ok(ancestors) = graph.ancestors(&id) {
+                        for a in ancestors {
+                            if seen.insert(a) {
+                                out.push(a);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        };
+        QueryResult {
+            ids,
+            from_cache: false,
+        }
+    }
+
+    /// Linear-scan execution (no indexes) — the baseline experiment E2
+    /// compares against.
+    pub fn execute_scan(graph: &ProvGraph, query: &ProvQuery) -> QueryResult {
+        let matches = |record: &ProvenanceRecord| -> bool {
+            match query {
+                ProvQuery::BySubject(s) | ProvQuery::Lineage(s) => record.subject == *s,
+                ProvQuery::ByAgent(a) => record.agent == *a,
+                ProvQuery::ByDomain(d) => record.domain == *d,
+                ProvQuery::ByAction(a) => record.action == *a,
+                ProvQuery::ByTimeRange { from_ms, until_ms } => {
+                    record.timestamp_ms >= *from_ms && record.timestamp_ms < *until_ms
+                }
+            }
+        };
+        let mut ids: Vec<RecordId> = graph
+            .iter()
+            .filter(|(_, r)| matches(r))
+            .map(|(id, _)| *id)
+            .collect();
+        if let ProvQuery::Lineage(_) = query {
+            let own = ids.clone();
+            let mut seen: std::collections::BTreeSet<RecordId> = own.iter().copied().collect();
+            for id in own {
+                if let Ok(ancestors) = graph.ancestors(&id) {
+                    for a in ancestors {
+                        if seen.insert(a) {
+                            ids.push(a);
+                        }
+                    }
+                }
+            }
+        }
+        QueryResult {
+            ids,
+            from_cache: false,
+        }
+    }
+
+    /// Execute a batch of queries (returns answers in input order).
+    pub fn execute_batch(&self, graph: &ProvGraph, queries: &[ProvQuery]) -> Vec<QueryResult> {
+        queries.iter().map(|q| self.execute(graph, q)).collect()
+    }
+}
+
+/// Bounded repeated-query cache (§6.2 future work).
+///
+/// Entries are valid only for the engine version they were computed at; a
+/// version bump (any new record) invalidates everything, guaranteeing
+/// freshness — the conservative consistency model the paper's "freshness
+/// concerns" ask for.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    entries: HashMap<Hash256, (u64, Vec<RecordId>)>,
+    /// Insertion order for cheap eviction.
+    fifo: std::collections::VecDeque<Hash256>,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Cache misses (computed fresh).
+    pub misses: u64,
+}
+
+impl QueryCache {
+    /// Create with an entry bound.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            fifo: std::collections::VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Execute with memoization.
+    pub fn execute(
+        &mut self,
+        engine: &QueryEngine,
+        graph: &ProvGraph,
+        query: &ProvQuery,
+    ) -> QueryResult {
+        let key = query.digest();
+        if let Some((version, ids)) = self.entries.get(&key) {
+            if *version == engine.version() {
+                self.hits += 1;
+                return QueryResult {
+                    ids: ids.clone(),
+                    from_cache: true,
+                };
+            }
+        }
+        self.misses += 1;
+        let result = engine.execute(graph, query);
+        if self.entries.len() >= self.capacity {
+            if let Some(evict) = self.fifo.pop_front() {
+                self.entries.remove(&evict);
+            }
+        }
+        self.entries
+            .insert(key, (engine.version(), result.ids.clone()));
+        self.fifo.push_back(key);
+        result
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(n: &str) -> AccountId {
+        AccountId::from_name(n)
+    }
+
+    fn rec(subject: &str, agent: &str, ts: u64, parents: Vec<RecordId>) -> ProvenanceRecord {
+        let mut r = ProvenanceRecord::new(subject, acct(agent), Action::Update, ts, Domain::Cloud);
+        r.parents = parents;
+        r
+    }
+
+    fn setup() -> (ProvGraph, QueryEngine, Vec<RecordId>) {
+        let mut g = ProvGraph::new();
+        let a = g.insert(rec("raw.csv", "alice", 10, vec![])).unwrap();
+        let b = g.insert(rec("clean.csv", "bob", 20, vec![a])).unwrap();
+        let c = g.insert(rec("model.bin", "bob", 30, vec![b])).unwrap();
+        let d = g.insert(rec("raw.csv", "alice", 40, vec![a])).unwrap();
+        let e = QueryEngine::build_from(&g);
+        (g, e, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn subject_agent_time_queries() {
+        let (g, e, ids) = setup();
+        assert_eq!(
+            e.execute(&g, &ProvQuery::BySubject("raw.csv".into())).ids,
+            vec![ids[0], ids[3]]
+        );
+        assert_eq!(
+            e.execute(&g, &ProvQuery::ByAgent(acct("bob"))).ids,
+            vec![ids[1], ids[2]]
+        );
+        let window = e.execute(
+            &g,
+            &ProvQuery::ByTimeRange {
+                from_ms: 15,
+                until_ms: 35,
+            },
+        );
+        assert_eq!(window.ids, vec![ids[1], ids[2]]);
+        // Exclusive upper bound.
+        let edge = e.execute(
+            &g,
+            &ProvQuery::ByTimeRange {
+                from_ms: 10,
+                until_ms: 10,
+            },
+        );
+        assert!(edge.ids.is_empty());
+    }
+
+    #[test]
+    fn lineage_includes_ancestors() {
+        let (g, e, ids) = setup();
+        let lineage = e.execute(&g, &ProvQuery::Lineage("model.bin".into()));
+        // model.bin record + its ancestors clean.csv and raw.csv(a).
+        assert_eq!(lineage.ids.len(), 3);
+        assert!(lineage.ids.contains(&ids[0]));
+        assert!(lineage.ids.contains(&ids[1]));
+        assert!(lineage.ids.contains(&ids[2]));
+    }
+
+    #[test]
+    fn indexed_matches_scan_for_every_query_kind() {
+        let (g, e, _) = setup();
+        let queries = [
+            ProvQuery::BySubject("raw.csv".into()),
+            ProvQuery::ByAgent(acct("alice")),
+            ProvQuery::ByTimeRange {
+                from_ms: 0,
+                until_ms: 100,
+            },
+            ProvQuery::ByDomain(Domain::Cloud),
+            ProvQuery::ByAction(Action::Update),
+            ProvQuery::Lineage("model.bin".into()),
+        ];
+        for q in &queries {
+            let indexed: std::collections::BTreeSet<_> = e.execute(&g, q).ids.into_iter().collect();
+            let scanned: std::collections::BTreeSet<_> =
+                QueryEngine::execute_scan(&g, q).ids.into_iter().collect();
+            assert_eq!(indexed, scanned, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn batch_returns_in_input_order() {
+        let (g, e, _) = setup();
+        let qs = vec![
+            ProvQuery::BySubject("raw.csv".into()),
+            ProvQuery::BySubject("model.bin".into()),
+        ];
+        let results = e.execute_batch(&g, &qs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].ids.len(), 2);
+        assert_eq!(results[1].ids.len(), 1);
+    }
+
+    #[test]
+    fn cache_hits_repeated_queries_and_invalidates_on_growth() {
+        let (mut g, mut e, _) = setup();
+        let mut cache = QueryCache::new(16);
+        let q = ProvQuery::BySubject("raw.csv".into());
+        let first = cache.execute(&e, &g, &q);
+        assert!(!first.from_cache);
+        let second = cache.execute(&e, &g, &q);
+        assert!(second.from_cache);
+        assert_eq!(second.ids, first.ids);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+
+        // New record bumps the version: the cached entry must not be served.
+        let id = g.insert(rec("raw.csv", "carol", 50, vec![])).unwrap();
+        e.index_record(id, g.get(&id).unwrap());
+        let third = cache.execute(&e, &g, &q);
+        assert!(!third.from_cache, "stale entry must not be served");
+        assert_eq!(third.ids.len(), 3);
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        let (g, e, _) = setup();
+        let mut cache = QueryCache::new(2);
+        cache.execute(&e, &g, &ProvQuery::BySubject("a".into()));
+        cache.execute(&e, &g, &ProvQuery::BySubject("b".into()));
+        cache.execute(&e, &g, &ProvQuery::BySubject("c".into()));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn unknown_subject_yields_empty() {
+        let (g, e, _) = setup();
+        assert!(e
+            .execute(&g, &ProvQuery::BySubject("ghost".into()))
+            .ids
+            .is_empty());
+        assert!(e
+            .execute(&g, &ProvQuery::Lineage("ghost".into()))
+            .ids
+            .is_empty());
+    }
+
+    #[test]
+    fn query_digests_are_distinct() {
+        let qs = [
+            ProvQuery::BySubject("x".into()),
+            ProvQuery::Lineage("x".into()),
+            ProvQuery::ByAgent(acct("x")),
+            ProvQuery::ByTimeRange {
+                from_ms: 0,
+                until_ms: 1,
+            },
+        ];
+        let digests: std::collections::BTreeSet<_> = qs.iter().map(ProvQuery::digest).collect();
+        assert_eq!(digests.len(), qs.len());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the GDPR accountability ledger: chain integrity over
+//! arbitrary operation sequences and verdict consistency.
+
+use blockprov_provenance::accountability::{AccountabilityLedger, Verdict};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Use { processor: u8, purpose: u8 },
+    Advance(u8),
+    Withdraw,
+    Erase,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(processor, purpose)| Op::Use { processor, purpose }),
+        (1u8..40).prop_map(Op::Advance),
+        Just(Op::Withdraw),
+        Just(Op::Erase),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever sequence of operations runs, the event chain verifies, and
+    /// every compliant verdict implies the policy actually allowed the
+    /// event at its recorded day.
+    #[test]
+    fn chain_and_verdicts_consistent(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut l = AccountabilityLedger::new();
+        l.declare_policy("item", "subject", "controller", &["p0", "p1"], &["proc0", "proc1"], 30)
+            .unwrap();
+        let mut withdrawn = false;
+        let mut erased = false;
+        for op in ops {
+            match op {
+                Op::Use { processor, purpose } => {
+                    let proc_name = format!("proc{}", processor % 3);
+                    let purpose_name = format!("p{}", purpose % 3);
+                    let verdict = l.record_usage("item", &proc_name, &purpose_name);
+                    let allowed = !erased
+                        && !withdrawn
+                        && l.today() <= 30
+                        && (processor % 3) < 2
+                        && (purpose % 3) < 2;
+                    prop_assert_eq!(
+                        verdict == Verdict::Compliant,
+                        allowed,
+                        "verdict {:?} at day {} (erased={}, withdrawn={})",
+                        verdict, l.today(), erased, withdrawn
+                    );
+                }
+                Op::Advance(d) => l.advance_days(d as u64),
+                Op::Withdraw => {
+                    l.withdraw_consent("item").unwrap();
+                    withdrawn = true;
+                }
+                Op::Erase => {
+                    if !erased {
+                        l.record_erasure("item", "controller").unwrap();
+                        erased = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(l.verify_chain());
+        // The subject report covers exactly the events about "item".
+        prop_assert_eq!(l.subject_report("subject").len(), l.events().len());
+    }
+}

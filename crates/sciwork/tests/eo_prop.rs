@@ -1,0 +1,74 @@
+//! Property tests for the EO DAG: trace/scan agreement, cost bounds, and
+//! payload integrity over randomly-shaped pipelines.
+
+use blockprov_sciwork::eo::{EoNetwork, EoTxId};
+use proptest::prelude::*;
+
+/// Build a random DAG: `n` products, each deriving from 1–3 earlier ones.
+fn random_dag(shape: &[u8]) -> (EoNetwork, Vec<EoTxId>) {
+    let mut net = EoNetwork::new(3, 2);
+    let mut ids = Vec::new();
+    // Always at least one root.
+    ids.push(net.ingest("dc", "root", b"root-bytes").unwrap());
+    for (i, &b) in shape.iter().enumerate() {
+        let n_parents = (b % 3) as usize + 1;
+        let parents: Vec<EoTxId> = (0..n_parents)
+            .map(|k| ids[(b as usize + k * 7 + i) % ids.len()])
+            .collect();
+        let mut uniq = parents.clone();
+        uniq.sort();
+        uniq.dedup();
+        let id = net
+            .process("dc", &format!("p{i}"), &uniq, &[b, i as u8])
+            .unwrap();
+        ids.push(id);
+    }
+    (net, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DAG trace and scan baseline return the same lineage set, and the DAG
+    /// walk never examines more records than the scan.
+    #[test]
+    fn trace_and_scan_agree(shape in proptest::collection::vec(any::<u8>(), 1..30)) {
+        let (net, ids) = random_dag(&shape);
+        let subject = *ids.last().unwrap();
+        let dag = net.trace(subject).unwrap();
+        let scan = net.trace_by_scan(subject).unwrap();
+        let a: std::collections::HashSet<_> = dag.lineage.iter().collect();
+        let b: std::collections::HashSet<_> = scan.lineage.iter().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(dag.depth, scan.depth);
+        prop_assert!(dag.records_examined <= scan.records_examined);
+        // DAG cost is exactly the ancestor set plus the subject.
+        prop_assert_eq!(dag.records_examined as usize, dag.lineage.len() + 1);
+    }
+
+    /// Every payload fetch verifies against the on-chain digest.
+    #[test]
+    fn payloads_verify(shape in proptest::collection::vec(any::<u8>(), 1..15)) {
+        let (net, ids) = random_dag(&shape);
+        for id in &ids {
+            let tx = net.tx(id).unwrap();
+            let bytes = net.fetch_verified(id).unwrap();
+            prop_assert_eq!(bytes.len() as u64, tx.payload_bytes);
+        }
+    }
+
+    /// Anchoring any prefix of activity keeps the anchor chain verifiable.
+    #[test]
+    fn anchors_always_verify(splits in proptest::collection::vec(1usize..6, 1..6)) {
+        let mut net = EoNetwork::new(3, 2);
+        let mut counter = 0u32;
+        for chunk in splits {
+            for _ in 0..chunk {
+                net.ingest("dc", &format!("s{counter}"), &counter.to_le_bytes()).unwrap();
+                counter += 1;
+            }
+            net.anchor();
+            prop_assert!(net.verify_anchors());
+        }
+    }
+}

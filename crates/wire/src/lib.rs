@@ -1,0 +1,413 @@
+//! Canonical, deterministic binary encoding for the blockprov workspace.
+//!
+//! Every structure that is hashed, signed, or stored on a chain must have a
+//! single canonical byte representation, otherwise two honest nodes can
+//! disagree about a block hash. This crate provides that representation:
+//!
+//! * fixed-width integers are little-endian;
+//! * lengths and counts use a LEB128-style varint;
+//! * collections are length-prefixed and encoded in iteration order — callers
+//!   that need map determinism must use ordered containers (`BTreeMap`);
+//! * there is exactly one way to encode any value (no optional padding, no
+//!   alternative integer widths), so `decode(encode(x)) == x` and
+//!   `encode(decode(b)) == b` for all well-formed `b`.
+//!
+//! The [`Codec`] trait is implemented by hand across the workspace rather
+//! than derived, deliberately: on-chain formats are consensus-critical and
+//! should be explicit in the source.
+
+mod reader;
+mod writer;
+
+pub use reader::Reader;
+pub use writer::Writer;
+
+use std::fmt;
+
+/// Maximum length accepted for any length-prefixed field (16 MiB).
+///
+/// This bounds allocation during decoding so a corrupt or malicious length
+/// prefix cannot trigger an out-of-memory abort.
+pub const MAX_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A varint was longer than 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// A varint used a non-canonical (overlong) encoding.
+    NonCanonicalVarint,
+    /// A length prefix exceeded [`MAX_LEN`].
+    LengthTooLarge(u64),
+    /// A byte that must be 0 or 1 (bool / option tag) held another value.
+    InvalidTag(u8),
+    /// Bytes that must be UTF-8 were not.
+    InvalidUtf8,
+    /// An enum discriminant was not recognized by the decoder.
+    UnknownDiscriminant {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The unrecognized discriminant value.
+        value: u64,
+    },
+    /// Input had trailing bytes after a complete top-level decode.
+    TrailingBytes(usize),
+    /// A domain-level invariant failed during decoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::NonCanonicalVarint => write!(f, "non-canonical varint encoding"),
+            WireError::LengthTooLarge(n) => write!(f, "length prefix {n} exceeds limit {MAX_LEN}"),
+            WireError::InvalidTag(b) => write!(f, "invalid tag byte {b:#04x} (expected 0 or 1)"),
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::UnknownDiscriminant { type_name, value } => {
+                write!(f, "unknown discriminant {value} for type {type_name}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::Invalid(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type with a canonical binary encoding.
+pub trait Codec: Sized {
+    /// Append the canonical encoding of `self` to the writer.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decode a value from the reader, consuming exactly its encoding.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a slice, requiring the entire slice to be consumed.
+    fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        let rest = r.remaining();
+        if rest != 0 {
+            return Err(WireError::TrailingBytes(rest));
+        }
+        Ok(v)
+    }
+}
+
+impl Codec for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u8()
+    }
+}
+
+impl Codec for u16 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u16()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Codec for u128 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u128(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u128()
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(zigzag_encode(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(zigzag_decode(r.get_u64()?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::InvalidTag(b)),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_string()
+    }
+}
+
+impl Codec for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_bytes()
+    }
+}
+
+impl<const N: usize> Codec for [u8; N] {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let slice = r.get_raw(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(WireError::InvalidTag(b)),
+        }
+    }
+}
+
+// `Vec<u8>` is the only `Vec` impl: a blanket `impl<T: Codec> Codec for
+// Vec<T>` would conflict with it under coherence, and byte strings are by far
+// the hottest case. Sequences of other element types use the free functions
+// below, which keeps the length-prefix convention identical.
+
+/// Encode a slice of codec values with a varint count prefix.
+pub fn encode_seq<T: Codec>(items: &[T], w: &mut Writer) {
+    w.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decode a sequence written by [`encode_seq`].
+pub fn decode_seq<T: Codec>(r: &mut Reader<'_>) -> Result<Vec<T>, WireError> {
+    let n = r.get_len()?;
+    // Guard allocation: assume each element takes at least one byte.
+    if n > r.remaining() {
+        return Err(WireError::UnexpectedEof {
+            needed: n,
+            remaining: r.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// ZigZag-encode a signed integer so small magnitudes stay small as varints.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let bytes = v.to_wire();
+            assert_eq!(u64::from_wire(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_is_canonical() {
+        // 0x80 0x00 is an overlong encoding of 0 and must be rejected.
+        let mut r = Reader::new(&[0x80, 0x00]);
+        assert_eq!(r.get_varint(), Err(WireError::NonCanonicalVarint));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes overflow a u64.
+        let bytes = [0xFFu8; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn bool_rejects_bad_tag() {
+        assert_eq!(bool::from_wire(&[2]), Err(WireError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u32> = Some(42);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_wire(&some.to_wire()).unwrap(), some);
+        assert_eq!(Option::<u32>::from_wire(&none.to_wire()).unwrap(), none);
+    }
+
+    #[test]
+    fn string_round_trip_and_utf8_guard() {
+        let s = "provenance — 来源".to_string();
+        assert_eq!(String::from_wire(&s.to_wire()).unwrap(), s);
+
+        let mut w = Writer::new();
+        w.put_varint(2);
+        w.put_raw(&[0xFF, 0xFE]);
+        assert_eq!(
+            String::from_wire(&w.into_bytes()),
+            Err(WireError::InvalidUtf8)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u8.to_wire();
+        bytes.push(0);
+        assert_eq!(u8::from_wire(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn seq_round_trip() {
+        let items = vec![1u64, 2, 3, u64::MAX];
+        let mut w = Writer::new();
+        encode_seq(&items, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_seq::<u64>(&mut r).unwrap(), items);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn seq_length_bomb_rejected() {
+        // A count prefix of 2^32 with a 3-byte body must not allocate 2^32 slots.
+        let mut w = Writer::new();
+        w.put_varint(1 << 32);
+        w.put_raw(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(decode_seq::<u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            assert_eq!(i64::from_wire(&v.to_wire()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn fixed_array_round_trip() {
+        let arr = [7u8; 32];
+        assert_eq!(<[u8; 32]>::from_wire(&arr.to_wire()).unwrap(), arr);
+        // Truncated input fails.
+        assert!(<[u8; 32]>::from_wire(&[0u8; 31]).is_err());
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (3u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_wire(&t.to_wire()).unwrap(), t);
+        let t3 = (1u8, 2u16, 3u32);
+        assert_eq!(<(u8, u16, u32)>::from_wire(&t3.to_wire()).unwrap(), t3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Zero-copy decoder over a byte slice.
+
+use crate::{WireError, MAX_LEN};
+
+/// A cursor over a byte slice with canonical-format accessors.
+///
+/// All accessors either consume exactly the bytes of one value or return an
+/// error leaving the reader position unspecified (decoding is abandoned on
+/// first error across the workspace).
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True if all bytes were consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, WireError> {
+        let b = self.take(16)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(b);
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Read a canonical LEB128 varint.
+    ///
+    /// Overlong encodings (e.g. `0x80 0x00` for zero) are rejected so that
+    /// every integer has exactly one wire representation.
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                // Canonical form: the final byte of a multi-byte varint must
+                // be non-zero, otherwise a shorter encoding exists.
+                if shift > 0 && byte == 0 {
+                    return Err(WireError::NonCanonicalVarint);
+                }
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Read a varint length prefix, bounded by [`MAX_LEN`].
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let n = self.get_varint()?;
+        if n > MAX_LEN as u64 {
+            return Err(WireError::LengthTooLarge(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Read length-prefixed bytes as a borrowed slice.
+    pub fn get_byte_slice(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+
+    /// Read length-prefixed bytes as an owned vector.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.get_byte_slice()?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_byte_slice()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_u128(u128::MAX - 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX - 1);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn eof_reports_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.get_u32(),
+            Err(WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
+        );
+    }
+
+    #[test]
+    fn varint_round_trip_exhaustive_boundaries() {
+        for v in [0u64, 1, 0x7F, 0x80, 0x3FFF, 0x4000, u64::MAX / 2, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        let mut w = Writer::new();
+        w.put_varint((MAX_LEN as u64) + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_len(), Err(WireError::LengthTooLarge(_))));
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let bytes = [0u8; 10];
+        let mut r = Reader::new(&bytes);
+        r.get_raw(3).unwrap();
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.remaining(), 7);
+    }
+}

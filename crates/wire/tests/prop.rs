@@ -1,0 +1,78 @@
+//! Property tests: every wire codec must round-trip, and decoding must never
+//! panic on arbitrary input.
+
+use blockprov_wire::{decode_seq, encode_seq, Codec, Reader, Writer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.get_varint().unwrap(), v);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let expected_len = if v == 0 { 1 } else { (64 - v.leading_zeros()).div_ceil(7) as usize };
+        prop_assert_eq!(w.len(), expected_len);
+    }
+
+    #[test]
+    fn bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let encoded = data.to_wire();
+        prop_assert_eq!(Vec::<u8>::from_wire(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn string_round_trip(s in "\\PC{0,200}") {
+        let owned = s.to_string();
+        let encoded = owned.to_wire();
+        prop_assert_eq!(String::from_wire(&encoded).unwrap(), owned);
+    }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_wire(&v.to_wire()).unwrap(), v);
+    }
+
+    #[test]
+    fn u128_round_trip(v in any::<u128>()) {
+        prop_assert_eq!(u128::from_wire(&v.to_wire()).unwrap(), v);
+    }
+
+    #[test]
+    fn seq_round_trip(items in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let mut w = Writer::new();
+        encode_seq(&items, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(decode_seq::<u64>(&mut r).unwrap(), items);
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// Decoding arbitrary bytes must return an error or a value, never panic.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = u64::from_wire(&bytes);
+        let _ = String::from_wire(&bytes);
+        let _ = Vec::<u8>::from_wire(&bytes);
+        let _ = Option::<u64>::from_wire(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = decode_seq::<u32>(&mut r);
+    }
+
+    /// encode(decode(b)) == b for any well-formed encoding (canonicality).
+    #[test]
+    fn re_encode_is_identity(v in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let pair = (v, data);
+        let bytes = pair.to_wire();
+        let decoded = <(u64, Vec<u8>)>::from_wire(&bytes).unwrap();
+        prop_assert_eq!(decoded.to_wire(), bytes);
+    }
+}

@@ -1,0 +1,81 @@
+//! Healthcare scenario: a patient-centric EHR ledger (Singh [69] /
+//! HealthBlock [1]) plus the anonymous pandemic diagnostics platform of
+//! Abouyoussef et al. [3].
+//!
+//! Run with: `cargo run --example healthcare_ehr`
+
+use blockprov::health::pandemic::{PandemicPlatform, SymptomVector};
+use blockprov::health::{HealthLedger, Purpose, RecordType};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Part 1 — patient-centric EHR with consent-gated, audited access.
+    // ------------------------------------------------------------------
+    let mut ehr = HealthLedger::new();
+    ehr.register_patient("alice").expect("patient");
+    let dr_bob = ehr.register_provider("dr-bob").expect("provider");
+    let insurer = ehr.register_provider("acme-insurance").expect("provider");
+
+    let visit = ehr
+        .add_record(
+            "alice",
+            dr_bob,
+            RecordType::ClinicalNote,
+            b"2026-06-10: persistent cough, ordered chest x-ray",
+        )
+        .expect("add record");
+
+    // Alice grants her doctor treatment access — but not the insurer.
+    ehr.grant_consent("alice", dr_bob, Purpose::Treatment, None).expect("consent");
+
+    let note = ehr
+        .access_record("alice", dr_bob, &visit, Purpose::Treatment)
+        .expect("doctor reads with consent");
+    println!("dr-bob reads {} bytes with patient consent", note.len());
+
+    match ehr.access_record("alice", insurer, &visit, Purpose::Research) {
+        Err(e) => println!("insurer denied as expected: {e}"),
+        Ok(_) => unreachable!("insurer has no consent"),
+    }
+
+    // Break-glass emergency access works but is audited.
+    ehr.access_record("alice", insurer, &visit, Purpose::Emergency)
+        .expect("emergency override");
+    let audit = ehr.audit_trail("alice").expect("audit");
+    println!("alice's audit trail holds {} disclosure records", audit.len());
+
+    // ------------------------------------------------------------------
+    // Part 2 — anonymous pandemic diagnostics (group signatures + the
+    // detector-as-contract).
+    // ------------------------------------------------------------------
+    let (mut platform, mut patients) =
+        PandemicPlatform::setup(b"city-health-2026", &["alice", "ben", "cleo"], 8)
+            .expect("platform");
+    platform.register_entity("public-health-agency");
+
+    // Alice submits twice; the platform sees two unlinkable submissions.
+    let severe = SymptomVector([900, 850, 700, 1000, 900, 1000]);
+    let mild = SymptomVector([150, 200, 100, 0, 0, 0]);
+    let (_, d1) = platform.submit(&mut patients[0], &severe, 1).expect("submit");
+    let (_, d2) = platform.submit(&mut patients[0], &mild, 2).expect("submit");
+    let (_, d3) = platform.submit(&mut patients[1], &mild, 3).expect("submit");
+    println!(
+        "diagnoses: severe→{} (risk {}‰), mild→{} (risk {}‰), mild→{} (risk {}‰)",
+        d1.positive, d1.risk_milli, d2.positive, d2.risk_milli, d3.positive, d3.risk_milli
+    );
+
+    let subs = platform.submissions();
+    println!(
+        "unlinkable: submission leaves {} vs {} (same patient, no shared state)",
+        subs[0].leaf_index, subs[1].leaf_index
+    );
+
+    let report = platform.aggregate_report("public-health-agency").expect("aggregate");
+    println!("consortium view: {}/{} positive", report.positive, report.total);
+
+    // Lawful contact tracing: only the group manager can deanonymize.
+    let who = platform.open_submission(0, "contact-tracing order #17").expect("open");
+    println!("opened submission 0 under legal order: patient = {who}");
+    assert!(platform.verify_chain());
+    println!("submission hash chain verifies ✓");
+}

@@ -1,0 +1,89 @@
+//! Pharmaceutical supply chain with PUF device identity, confirmation-based
+//! ownership transfer, counterfeit detection and privacy-preserving
+//! cold-chain telemetry (the paper's §4.2 scenario).
+//!
+//! Run with: `cargo run --example pharma_supply_chain`
+
+use blockprov::ledger::tx::AccountId;
+use blockprov::supply::{PufDevice, SupplyLedger};
+
+fn main() {
+    let factory_account = AccountId::from_name("factory");
+    let mut chain = SupplyLedger::new(vec![factory_account]);
+
+    let factory = chain.register_participant("factory").expect("factory");
+    let distributor = chain
+        .register_participant("distributor")
+        .expect("distributor");
+    let pharmacy = chain.register_participant("pharmacy").expect("pharmacy");
+    let sensor = chain
+        .register_participant("reefer-sensor-17")
+        .expect("sensor");
+
+    // 1. Manufacture a vaccine lot with a PUF-backed identity and register
+    //    it (unique id enforced on-chain — no illegitimate registration).
+    let mut device = PufDevice::manufacture("vaccine-lot-0423", 2);
+    chain
+        .register_device(factory, "vaccine-lot-0423", &device)
+        .expect("register");
+    println!("registered vaccine-lot-0423, owner = factory");
+
+    // A counterfeiter prints the same lot number on fake packaging:
+    let mut fake = PufDevice::counterfeit_of("vaccine-lot-0423", 2);
+    match chain.authenticate_device("vaccine-lot-0423", &mut fake) {
+        Err(e) => println!("counterfeit detected: {e}"),
+        Ok(()) => unreachable!("clone must not authenticate"),
+    }
+    chain
+        .authenticate_device("vaccine-lot-0423", &mut device)
+        .expect("genuine passes");
+
+    // 2. Cold-chain telemetry: the sensor commits to each reading; the
+    //    verifier learns only "within [2.0, 8.0] °C", never the value.
+    let readings_decicelsius = [45u64, 52, 61, 55, 71];
+    for (i, &reading) in readings_decicelsius.iter().enumerate() {
+        let seed = [i as u8 + 1; 32];
+        let (witness, idx) = chain
+            .commit_reading(sensor, "vaccine-lot-0423", reading, 400, &seed)
+            .expect("commit");
+        let proof = witness.prove(20, 80).expect("within cold chain");
+        assert!(chain.submit_range_proof(idx, &proof).expect("verify"));
+    }
+    println!(
+        "cold chain: {} readings proven in [2.0, 8.0] °C; sensor earned {} credits",
+        readings_decicelsius.len(),
+        chain.credits_of(&sensor)
+    );
+
+    // 3. Custody moves with explicit recipient confirmation at each hop.
+    chain
+        .init_transfer("vaccine-lot-0423", factory, distributor)
+        .expect("init");
+    chain
+        .confirm_transfer("vaccine-lot-0423", distributor, "regional-warehouse")
+        .expect("confirm");
+    chain
+        .init_transfer("vaccine-lot-0423", distributor, pharmacy)
+        .expect("init");
+    chain
+        .confirm_transfer("vaccine-lot-0423", pharmacy, "main-street-pharmacy")
+        .expect("confirm");
+
+    println!(
+        "travel trace: {}",
+        chain
+            .travel_trace("vaccine-lot-0423")
+            .expect("trace")
+            .join(" -> ")
+    );
+    assert_eq!(chain.owner_of("vaccine-lot-0423"), Some(pharmacy));
+
+    // 4. Anchor everything and verify.
+    chain.seal().expect("seal");
+    chain.ledger().verify_chain().expect("integrity");
+    println!(
+        "sealed; chain height {}, contract events: {}",
+        chain.ledger().chain().height(),
+        chain.contracts().events().len()
+    );
+}

@@ -1,0 +1,132 @@
+//! Integration: RQ3 — swaps, notaries, relays, bridge and Vassago working
+//! together across organization chains.
+
+use blockprov::crosschain::htlc::SwapFaults;
+use blockprov::crosschain::{
+    AtomicSwap, Bridge, CrossChainEvent, NotaryCommittee, OrgChain, SwapOutcome, VassagoNetwork,
+};
+use blockprov::forensics::Stage;
+
+#[test]
+fn notarized_cross_chain_record_exchange() {
+    // Org A records evidence; a notary committee attests the containing
+    // block; org B accepts the attestation at threshold.
+    let mut org_a = OrgChain::new("org-A");
+    let rid = org_a
+        .record_step("case-9", Stage::Identification, "image-disk")
+        .unwrap();
+    let proof = org_a.ledger.prove_record(&rid).unwrap();
+
+    let event = CrossChainEvent {
+        chain: "org-A".into(),
+        block: proof.inclusion.block_hash,
+        height: proof.inclusion.header.height,
+        tx: proof.tx_id.0,
+    };
+    let mut committee = NotaryCommittee::new(7, 5);
+    let attestation = committee.attest(&event, &[0, 1, 2, 3, 4]);
+    assert!(NotaryCommittee::verify(
+        committee.public_keys(),
+        5,
+        &attestation
+    ));
+
+    // A minority attestation is not accepted.
+    let minority = committee.attest(&event, &[5, 6]);
+    assert!(!NotaryCommittee::verify(
+        committee.public_keys(),
+        5,
+        &minority
+    ));
+}
+
+#[test]
+fn bridge_and_vassago_share_one_investigation() {
+    // Two agencies collaborate via the bridge while evidence custody hops
+    // across three department chains tracked by Vassago.
+    let mut bridge = Bridge::new(&["org-A", "org-B"]);
+    let mut a = OrgChain::new("org-A");
+    let mut b = OrgChain::new("org-B");
+    bridge.open_case("big-case").unwrap();
+
+    let ra = a
+        .record_step("big-case", Stage::Identification, "identify")
+        .unwrap();
+    bridge.sync_headers(&a).unwrap();
+    bridge.sync_record(&a, "big-case", &ra).unwrap();
+
+    let rb = b
+        .record_step("big-case", Stage::Identification, "identify-remote")
+        .unwrap();
+    bridge.sync_headers(&b).unwrap();
+    bridge.sync_record(&b, "big-case", &rb).unwrap();
+
+    bridge
+        .vote_stage("org-A", "big-case", Stage::Preservation)
+        .unwrap();
+    bridge
+        .vote_stage("org-B", "big-case", Stage::Preservation)
+        .unwrap();
+    assert_eq!(bridge.stage_of("big-case"), Some(Stage::Preservation));
+
+    let mut net = VassagoNetwork::new(3);
+    net.create_asset("evidence-1", 0).unwrap();
+    net.transfer_asset("evidence-1", 1).unwrap();
+    net.transfer_asset("evidence-1", 2).unwrap();
+    let trace = net.trace_asset("evidence-1").unwrap();
+    assert!(trace.authenticated);
+    assert_eq!(trace.chains_involved, 3);
+    assert!(trace.parallel_latency_ms <= trace.sequential_latency_ms);
+}
+
+#[test]
+fn swap_matrix_is_atomic_under_all_single_faults() {
+    let fault_sets = [
+        SwapFaults::default(),
+        SwapFaults {
+            bob_never_locks: true,
+            ..Default::default()
+        },
+        SwapFaults {
+            alice_never_claims: true,
+            ..Default::default()
+        },
+        SwapFaults {
+            alice_claim_delay_ms: 5_000,
+            ..Default::default()
+        },
+    ];
+    for faults in fault_sets {
+        let mut swap = AtomicSwap::setup(1_000, 3_000);
+        let outcome = swap.run(2_000, faults);
+        assert_eq!(
+            swap.total_value(),
+            4_000,
+            "value conserved under {faults:?}"
+        );
+        match outcome {
+            SwapOutcome::Completed => {
+                assert_eq!(swap.chain_a.balance(&swap.bob), 1_000);
+                assert_eq!(swap.chain_b.balance(&swap.alice), 3_000);
+            }
+            SwapOutcome::Aborted => {
+                assert_eq!(swap.chain_a.balance(&swap.alice), 1_000);
+                assert_eq!(swap.chain_b.balance(&swap.bob), 3_000);
+            }
+        }
+    }
+}
+
+#[test]
+fn bridge_rejects_unverifiable_foreign_records() {
+    let mut bridge = Bridge::new(&["org-A"]);
+    let mut org_a = OrgChain::new("org-A");
+    // org-C is not a member at all.
+    let mut org_c = OrgChain::new("org-C");
+    bridge.open_case("c").unwrap();
+    let rc = org_c.record_step("c", Stage::Identification, "x").unwrap();
+    assert!(bridge.sync_record(&org_c, "c", &rc).is_err());
+    // Member record without header sync also fails.
+    let ra = org_a.record_step("c", Stage::Identification, "y").unwrap();
+    assert!(bridge.sync_record(&org_a, "c", &ra).is_err());
+}

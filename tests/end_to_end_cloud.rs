@@ -1,0 +1,153 @@
+//! Integration: the full RQ1 pipeline across crates — capture pathways,
+//! ledger, consensus sealing, Merkle proofs, storage modes, caching.
+
+use blockprov::core::{
+    BlockchainKind, CloudAuditor, CloudOpKind, LedgerConfig, ProvenanceLedger, StorageMode,
+};
+use blockprov::provenance::{Action, CapturePathway, ProvQuery};
+
+#[test]
+fn provchain_loop_over_every_capture_pathway() {
+    for pathway in [
+        CapturePathway::UserDirect,
+        CapturePathway::DataStoreEmitted,
+        CapturePathway::ThirdParty {
+            decentralized: false,
+        },
+        CapturePathway::ThirdParty {
+            decentralized: true,
+        },
+        CapturePathway::MultiSource { sources: 3 },
+    ] {
+        let config = LedgerConfig::private_default().with_capture(pathway);
+        let mut auditor = CloudAuditor::new(config, 4);
+        let user = auditor.register_user("user").unwrap();
+        let mut record_ids = Vec::new();
+        for i in 0..6u8 {
+            let rid = auditor
+                .file_op(&user, "data.bin", CloudOpKind::Update, &[i])
+                .unwrap_or_else(|e| panic!("{pathway:?}: {e}"));
+            record_ids.push(rid);
+        }
+        auditor.seal().unwrap();
+        // Every record proves and verifies.
+        for rid in &record_ids {
+            let proof = auditor.issue_proof(rid).unwrap();
+            assert!(auditor.user_verify(rid, &proof), "{pathway:?}");
+        }
+        auditor.ledger().verify_chain().unwrap();
+    }
+}
+
+#[test]
+fn public_pow_chain_end_to_end() {
+    let mut config = LedgerConfig::public_default();
+    if let BlockchainKind::Public { pow_bits } = &mut config.kind {
+        *pow_bits = 10;
+    }
+    let mut ledger = ProvenanceLedger::open(config);
+    let user = ledger.register_agent("worker").unwrap();
+    for i in 0..20u8 {
+        ledger
+            .apply_operation(&user, &format!("obj-{}", i % 4), Action::Update, &[i])
+            .unwrap();
+    }
+    let hash = ledger.seal_block().unwrap();
+    let block = ledger.chain().block(&hash).unwrap();
+    assert!(block.header.meets_difficulty());
+    assert!(block.header.hash().0.leading_zero_bits() >= 10);
+    ledger.verify_chain().unwrap();
+}
+
+#[test]
+fn storage_mode_ablation_hash_anchoring_saves_chain_bytes() {
+    let run = |mode: StorageMode| -> (u64, u64) {
+        let mut ledger = ProvenanceLedger::open(LedgerConfig::private_default().with_storage(mode));
+        let user = ledger.register_agent("u").unwrap();
+        for i in 0..10u8 {
+            // Distinct payloads (the off-chain store is content-addressed
+            // and would deduplicate identical blobs).
+            let mut blob = vec![0x5Au8; 8 * 1024];
+            blob[0] = i;
+            ledger
+                .apply_operation(&user, &format!("f{i}"), Action::Create, &blob)
+                .unwrap();
+        }
+        ledger.seal_block().unwrap();
+        (ledger.onchain_bytes(), ledger.offchain_bytes())
+    };
+    let (full_on, full_off) = run(StorageMode::OnChainFull);
+    let (anch_on, anch_off) = run(StorageMode::HashAnchored);
+    assert!(full_on > anch_on * 5, "on-chain {full_on} vs {anch_on}");
+    assert_eq!(full_off, 0);
+    assert!(
+        anch_off >= 10 * 8 * 1024 - 8 * 1024,
+        "payloads moved off-chain"
+    );
+}
+
+#[test]
+fn repeated_queries_hit_cache_until_invalidated() {
+    let mut ledger = ProvenanceLedger::open(LedgerConfig::private_default());
+    let user = ledger.register_agent("u").unwrap();
+    for i in 0..50u8 {
+        ledger
+            .apply_operation(&user, "hot-file", Action::Update, &[i])
+            .unwrap();
+    }
+    ledger.seal_block().unwrap();
+    let q = ProvQuery::BySubject("hot-file".into());
+    ledger.query(&q);
+    for _ in 0..9 {
+        assert!(ledger.query(&q).from_cache);
+    }
+    let (hits, misses) = ledger.cache_stats();
+    assert_eq!((hits, misses), (9, 1));
+    // A new record invalidates.
+    ledger
+        .apply_operation(&user, "hot-file", Action::Read, &[])
+        .unwrap();
+    assert!(!ledger.query(&q).from_cache);
+}
+
+#[test]
+fn tampered_store_detected_by_integrity_walk() {
+    // Integrity verification re-derives hashes from stored blocks; since the
+    // chain API has no mutation hooks, simulate tamper by checking that a
+    // forged proof fails instead.
+    let mut auditor = CloudAuditor::new(LedgerConfig::private_default(), 2);
+    let user = auditor.register_user("u").unwrap();
+    let rid = auditor
+        .file_op(&user, "f", CloudOpKind::Upload, b"honest")
+        .unwrap();
+    let other = auditor
+        .file_op(&user, "f", CloudOpKind::Update, b"more")
+        .unwrap();
+    auditor.seal().unwrap();
+    let proof_other = auditor.issue_proof(&other).unwrap();
+    // Claiming `rid` is proven by `other`'s proof must fail.
+    assert!(!auditor.user_verify(&rid, &proof_other));
+}
+
+#[test]
+fn derivation_lineage_spans_blocks() {
+    let mut ledger = ProvenanceLedger::open(LedgerConfig::private_default());
+    let user = ledger.register_agent("u").unwrap();
+    let mut last = None;
+    for i in 0..12u8 {
+        let rid = ledger
+            .apply_operation(&user, "doc", Action::Update, &[i])
+            .unwrap();
+        if i % 3 == 2 {
+            ledger.seal_block().unwrap();
+        }
+        last = Some(rid);
+    }
+    ledger.seal_block().unwrap();
+    let lineage = ledger.graph().ancestors(&last.unwrap()).unwrap();
+    assert_eq!(
+        lineage.len(),
+        11,
+        "full chain of derivations across 4 blocks"
+    );
+}

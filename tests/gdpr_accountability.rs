@@ -1,0 +1,87 @@
+//! Integration: GDPR accountability (Neisse [58]) layered over the
+//! healthcare EHR ledger — every disclosure the EHR system performs is
+//! mirrored as a judged usage event, so a supervisory authority can audit
+//! compliance independently of the clinic's own records.
+
+use blockprov::health::{HealthLedger, Purpose, RecordType};
+use blockprov::provenance::accountability::{AccountabilityLedger, Verdict, Violation};
+
+#[test]
+fn ehr_disclosures_mirror_into_accountability_ledger() {
+    let mut ehr = HealthLedger::new();
+    let mut acct = AccountabilityLedger::new();
+
+    ehr.register_patient("alice").unwrap();
+    let dr_bob = ehr.register_provider("dr-bob").unwrap();
+    let research_lab = ehr.register_provider("research-lab").unwrap();
+
+    let visit = ehr
+        .add_record("alice", dr_bob, RecordType::LabResult, b"HbA1c: 5.1%")
+        .unwrap();
+    ehr.grant_consent("alice", dr_bob, Purpose::Treatment, None).unwrap();
+
+    acct.declare_policy(
+        "ehr/alice/lab-1",
+        "alice",
+        "clinic",
+        &["treatment"],
+        &["dr-bob"],
+        365,
+    )
+    .unwrap();
+
+    // Allowed access → compliant event.
+    ehr.access_record("alice", dr_bob, &visit, Purpose::Treatment).unwrap();
+    assert_eq!(
+        acct.record_usage("ehr/alice/lab-1", "dr-bob", "treatment"),
+        Verdict::Compliant
+    );
+
+    // The lab has no consent; the EHR denies it, and the accountability
+    // ledger records the attempt as an independent violation.
+    assert!(ehr
+        .access_record("alice", research_lab, &visit, Purpose::Research)
+        .is_err());
+    assert_eq!(
+        acct.record_usage("ehr/alice/lab-1", "research-lab", "research"),
+        Verdict::Violation(Violation::UnauthorizedProcessor)
+    );
+
+    // Supervisory-authority view: one violation, chain intact, and the
+    // subject's right-of-access report shows both events.
+    assert_eq!(acct.violations().len(), 1);
+    assert!(acct.verify_chain());
+    assert_eq!(acct.subject_report("alice").len(), 2);
+}
+
+#[test]
+fn retention_and_withdrawal_lifecycle() {
+    let mut acct = AccountabilityLedger::new();
+    acct.declare_policy(
+        "wearable/heart-rate",
+        "carol",
+        "fit-app",
+        &["analytics"],
+        &["fit-app"],
+        90,
+    )
+    .unwrap();
+
+    for _ in 0..3 {
+        assert_eq!(
+            acct.record_usage("wearable/heart-rate", "fit-app", "analytics"),
+            Verdict::Compliant
+        );
+        acct.advance_days(30);
+    }
+    // Day 90 passed: next use violates retention and an obligation is due.
+    acct.advance_days(1);
+    assert_eq!(
+        acct.record_usage("wearable/heart-rate", "fit-app", "analytics"),
+        Verdict::Violation(Violation::RetentionExpired)
+    );
+    assert_eq!(acct.due_obligations().len(), 1);
+    acct.record_erasure("wearable/heart-rate", "fit-app").unwrap();
+    assert!(acct.due_obligations().is_empty());
+    assert!(acct.verify_chain());
+}

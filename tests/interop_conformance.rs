@@ -1,0 +1,104 @@
+//! Integration: the unified cross-chain interface (§6.2 "unified solution")
+//! — one behavioral contract, every §2.3 mechanism family, one conformance
+//! suite; plus the TEE-attested query path and cross-domain provenance of
+//! transfers.
+
+use blockprov::crosschain::interop::{
+    conformance, AnchoredConnector, ChainConnector, HtlcConnector, InteropMessage,
+    NotaryConnector, RelayConnector,
+};
+use blockprov::crosschain::tee::{verify_attested, Enclave, Vendor};
+use blockprov::crypto::sha256::sha256;
+
+fn message(nonce: u64) -> InteropMessage {
+    InteropMessage {
+        source: "hospital-chain".into(),
+        dest: "forensics-chain".into(),
+        payload: format!("case-record-{nonce}").into_bytes(),
+        nonce,
+    }
+}
+
+#[test]
+fn every_mechanism_family_passes_the_conformance_suite() {
+    let reports = vec![
+        conformance(&mut NotaryConnector::new(5, 3)),
+        conformance(&mut RelayConnector::new("hospital-chain")),
+        conformance(&mut HtlcConnector::new()),
+        conformance(&mut AnchoredConnector::new()),
+    ];
+    let mechanisms: Vec<&str> = reports.iter().map(|r| r.mechanism).collect();
+    assert_eq!(
+        mechanisms,
+        vec!["notary", "relay", "hash-lock", "anchored-side-chain"],
+        "all four §2.3 families covered"
+    );
+    for r in &reports {
+        assert!(r.passed(), "{r:?}");
+    }
+}
+
+#[test]
+fn transfer_provenance_is_queryable_across_mechanisms() {
+    // The unified provenance capture: after mixed traffic, each connector
+    // can answer "did message X cross, and how?".
+    let mut notary = NotaryConnector::new(4, 3);
+    let mut relay = RelayConnector::new("src");
+    for i in 0..4 {
+        notary.transfer(&message(i)).unwrap();
+    }
+    for i in 4..7 {
+        relay.transfer(&message(i)).unwrap();
+    }
+    assert_eq!(notary.transfer_log().len(), 4);
+    assert_eq!(relay.transfer_log().len(), 3);
+    let m5 = message(5);
+    assert!(notary.find_transfer(&m5.digest()).is_none());
+    let hit = relay.find_transfer(&m5.digest()).unwrap();
+    assert_eq!(hit.mechanism, "relay");
+}
+
+#[test]
+fn attested_cross_chain_query_round_trip() {
+    // The Vassago TEE enhancement: a query result a third party can trust
+    // without re-running the query.
+    let mut vendor = Vendor::new("sgx-root");
+    let mut enclave = Enclave::launch(
+        &mut vendor,
+        "crosschain-trace",
+        1,
+        sha256(b"trace-binary-v1"),
+        Box::new(|input: &[u8]| {
+            // Stand-in query program: summarize the asset's hops.
+            format!("hops({})=3", String::from_utf8_lossy(input)).into_bytes()
+        }),
+    )
+    .unwrap();
+    let pinned = enclave.measurement();
+
+    let result = enclave.execute(b"asset-771").unwrap();
+    verify_attested(&vendor.public_key(), pinned, b"asset-771", &result)
+        .expect("honest result verifies");
+    assert_eq!(result.output, b"hops(asset-771)=3");
+
+    // The result cannot be replayed for another asset.
+    assert!(verify_attested(&vendor.public_key(), pinned, b"asset-772", &result).is_err());
+}
+
+#[test]
+fn receipts_do_not_transfer_between_connector_instances() {
+    // Two organizations running the same mechanism still cannot replay each
+    // other's receipts: verification is bound to the instance's trust roots
+    // (committee keys / relay state / escrow / main chain).
+    let m = message(9);
+    let mut org_a = NotaryConnector::new(4, 3);
+    let org_b = NotaryConnector::new(4, 3);
+    let receipt = org_a.transfer(&m).unwrap();
+    assert!(org_a.verify(&m, &receipt));
+    // Committees share deterministic test keys only if constructed with the
+    // same prefix; default committees are identical here, so this checks
+    // digest binding rather than key separation.
+    let mut tampered = m.clone();
+    tampered.nonce = 10;
+    assert!(!org_b.verify(&tampered, &receipt));
+}

@@ -1,0 +1,165 @@
+//! Integration: the RQ2 domains running side by side, Table 1 schemas
+//! enforced, Table 2 mechanisms demonstrated, access layers composed.
+
+use blockprov::access::views::ViewFilter;
+use blockprov::core::{table2, LedgerConfig, ProvenanceLedger};
+use blockprov::health::{HealthLedger, Purpose, RecordType};
+use blockprov::ledger::tx::AccountId;
+use blockprov::mlprov::{AssetGraph, AssetKind};
+use blockprov::provenance::{Action, Domain, ProvQuery};
+use blockprov::sciwork::Lifecycle;
+use blockprov::supply::{PufDevice, SupplyLedger};
+
+#[test]
+fn table1_schemas_enforced_across_domains() {
+    // Each domain ledger produces records that satisfy its Table 1 schema.
+    let mut supply = SupplyLedger::new(vec![AccountId::from_name("factory")]);
+    let factory = supply.register_participant("factory").unwrap();
+    let dev = PufDevice::manufacture("d1", 1);
+    let rid = supply.register_device(factory, "d1", &dev).unwrap();
+    let record = supply.ledger().record(&rid).unwrap();
+    assert_eq!(record.domain, Domain::SupplyChain);
+    record.validate_schema().unwrap();
+    for field in Domain::SupplyChain.required_fields() {
+        assert!(record.fields.contains_key(*field));
+    }
+
+    let mut health = HealthLedger::new();
+    health.register_patient("p").unwrap();
+    let dr = health.register_provider("dr").unwrap();
+    let rid = health
+        .add_record("p", dr, RecordType::LabResult, b"x")
+        .unwrap();
+    health
+        .ledger()
+        .record(&rid)
+        .unwrap()
+        .validate_schema()
+        .unwrap();
+
+    let (_, sci) = Lifecycle::run().unwrap();
+    for (_, record) in sci.ledger().graph().iter() {
+        record.validate_schema().unwrap();
+    }
+}
+
+#[test]
+fn table2_mechanisms_have_implementations() {
+    // The design matrix names a crate per domain; smoke-test each one's
+    // signature mechanism in a single test so the mapping stays honest.
+    let profiles = table2();
+    assert_eq!(profiles.len(), 5);
+
+    // Supply chain: illegitimate registration defence.
+    let mut supply = SupplyLedger::new(vec![AccountId::from_name("factory")]);
+    let factory = supply.register_participant("factory").unwrap();
+    let dev = PufDevice::manufacture("dup", 1);
+    supply.register_device(factory, "dup", &dev).unwrap();
+    assert!(supply.register_device(factory, "dup", &dev).is_err());
+
+    // Healthcare: patient-centric consent.
+    let mut health = HealthLedger::new();
+    health.register_patient("alice").unwrap();
+    let stranger = health.register_provider("stranger").unwrap();
+    let rid = health
+        .add_record("alice", stranger, RecordType::ClinicalNote, b"n")
+        .unwrap();
+    assert!(health
+        .access_record("alice", stranger, &rid, Purpose::Treatment)
+        .is_err());
+
+    // ML: dataset-owner remuneration.
+    let mut assets = AssetGraph::new();
+    let org = assets.register_participant("org").unwrap();
+    let d = assets
+        .register_asset(org, "d", AssetKind::Dataset, &[])
+        .unwrap();
+    let op = assets
+        .register_asset(org, "op", AssetKind::Operation, &[d])
+        .unwrap();
+    let model = assets
+        .register_asset(org, "m", AssetKind::Model, &[op])
+        .unwrap();
+    let shares = assets.remuneration_shares(&model).unwrap();
+    assert!((shares[&org] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn ledger_views_gate_cross_tenant_queries() {
+    // LedgerView over a shared consortium chain: an auditor sees only the
+    // transaction kinds their view exposes.
+    let mut ledger = ProvenanceLedger::open(LedgerConfig::consortium(4));
+    let org1 = ledger.register_agent("org-1").unwrap();
+    for i in 0..5u8 {
+        ledger
+            .apply_operation(&org1, &format!("asset-{i}"), Action::Create, &[i])
+            .unwrap();
+    }
+    ledger.seal_block().unwrap();
+
+    let owner = AccountId::from_name("org-1");
+    let auditor = AccountId::from_name("auditor");
+    let view = ledger.views.create(
+        owner,
+        "provenance-only",
+        ViewFilter {
+            kinds: Some([blockprov::core::txkind::PROVENANCE].into()),
+            ..Default::default()
+        },
+        true,
+    );
+    ledger.views.grant(view, owner, auditor).unwrap();
+    // Cannot query through the view without a grant… (checked via error)
+    let stranger = AccountId::from_name("stranger");
+    assert!(ledger.views.query(view, &stranger, ledger.chain()).is_err());
+    // …the auditor can, and sees exactly the provenance txs.
+    let txs = ledger.views.query(view, &auditor, ledger.chain()).unwrap();
+    assert_eq!(txs.len(), 5);
+}
+
+#[test]
+fn domains_coexist_on_one_consortium_ledger() {
+    // RQ2's premise: multiple collaborating parties share one chain. Submit
+    // records of several domains (schema per record, not per chain).
+    let mut ledger = ProvenanceLedger::open(LedgerConfig::consortium(4));
+    let party = ledger.register_agent("party").unwrap();
+    let mk = |subject: &str, domain: Domain, ts: u64| {
+        let mut r = blockprov::provenance::ProvenanceRecord::new(
+            subject,
+            party,
+            Action::Create,
+            ts,
+            domain,
+        );
+        for field in domain.required_fields() {
+            r = r.with_field(field, "value");
+        }
+        r
+    };
+    ledger
+        .submit_record(mk("lot-1", Domain::SupplyChain, 10), b"")
+        .unwrap();
+    ledger
+        .submit_record(mk("case-1", Domain::DigitalForensics, 11), b"")
+        .unwrap();
+    ledger
+        .submit_record(mk("ehr-1", Domain::Healthcare, 12), b"")
+        .unwrap();
+    ledger.seal_block().unwrap();
+
+    assert_eq!(
+        ledger
+            .query(&ProvQuery::ByDomain(Domain::SupplyChain))
+            .ids
+            .len(),
+        1
+    );
+    assert_eq!(
+        ledger
+            .query(&ProvQuery::ByDomain(Domain::Healthcare))
+            .ids
+            .len(),
+        1
+    );
+    ledger.verify_chain().unwrap();
+}

@@ -1,0 +1,136 @@
+//! Integration: the IPFS-substitute storage substrate anchored on the
+//! provenance ledger — the Hasan [33] / HealthBlock [1] architecture where
+//! bulk payloads live in content-addressed distributed storage and only
+//! 32-byte roots go on chain.
+
+use blockprov::core::{LedgerConfig, ProvenanceLedger};
+use blockprov::provenance::{Action, Domain, ProvenanceRecord};
+use blockprov::storage::{add_file, cat, verify_subtree, Chunker, Cid, Swarm};
+use blockprov::crypto::sha256::sha256;
+
+fn payload(len: usize, tag: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(tag).wrapping_add(tag)).collect()
+}
+
+#[test]
+fn cid_anchoring_end_to_end() {
+    // 1. Store a large document in the swarm (6 peers, 2 replicas).
+    let mut swarm = Swarm::new(6, 2);
+    let doc = payload(200_000, 3);
+    let root = add_file(&mut swarm, &doc, Chunker::ContentDefined(4096), 16);
+    assert!(verify_subtree(&swarm, &root).is_ok());
+
+    // 2. Anchor the CID on a provenance ledger.
+    let mut ledger = ProvenanceLedger::open(LedgerConfig::private_default());
+    let archivist = ledger.register_agent("archivist").unwrap();
+    let ts = ledger.advance_clock();
+    let record = ProvenanceRecord::new(
+        "evidence/dump-2026-06.bin",
+        archivist,
+        Action::Create,
+        ts,
+        Domain::Cloud,
+    )
+    .with_field("cid", &root.to_string())
+    .with_field("bytes", &doc.len().to_string());
+    let rid = ledger.submit_record(record, &[]).unwrap();
+    ledger.seal_block().unwrap();
+    ledger.verify_chain().unwrap();
+
+    // 3. A verifier: Merkle proof for the anchoring record, then fetch and
+    //    check the payload against the anchored CID.
+    let proof = ledger.prove_record(&rid).unwrap();
+    let anchored = ledger.record(&rid).unwrap().clone();
+    assert!(proof.verify(&anchored));
+    let cid_str = anchored.fields.get("cid").expect("cid field");
+    assert_eq!(*cid_str, root.to_string());
+
+    let fetched = cat(&swarm, &root).unwrap();
+    assert_eq!(fetched, doc);
+    // Content addressing: recomputing the root over the fetched bytes must
+    // reproduce the anchored CID.
+    let mut check = Swarm::new(6, 2);
+    let recomputed = add_file(&mut check, &fetched, Chunker::ContentDefined(4096), 16);
+    assert_eq!(recomputed, root);
+}
+
+#[test]
+fn anchored_cid_rejects_substituted_payload() {
+    let mut swarm = Swarm::new(4, 2);
+    let original = payload(50_000, 5);
+    let root = add_file(&mut swarm, &original, Chunker::Fixed(2048), 8);
+
+    // Attacker stores a different file and tries to pass it off.
+    let forged = payload(50_000, 6);
+    let forged_root = add_file(&mut swarm, &forged, Chunker::Fixed(2048), 8);
+    assert_ne!(root, forged_root, "different content cannot share a CID");
+
+    // A verifier holding the anchored CID always detects substitution.
+    let fetched = cat(&swarm, &root).unwrap();
+    assert_eq!(sha256(&fetched), sha256(&original));
+    assert_ne!(sha256(&fetched), sha256(&forged));
+}
+
+#[test]
+fn versioned_documents_dedup_across_anchors() {
+    // Scenario: an EHR document is amended; both versions are anchored.
+    // Content-defined chunking means the unchanged bulk is stored once.
+    let mut swarm = Swarm::new(5, 2);
+    let v1 = payload(120_000, 7);
+    let mut v2 = v1.clone();
+    v2.splice(60_000..60_000, b"AMENDMENT 2026-06-10".iter().copied());
+
+    let r1 = add_file(&mut swarm, &v1, Chunker::ContentDefined(2048), 16);
+    let before = swarm.resident_bytes();
+    let r2 = add_file(&mut swarm, &v2, Chunker::ContentDefined(2048), 16);
+    let added = swarm.resident_bytes() - before;
+
+    assert_ne!(r1, r2);
+    assert_eq!(cat(&swarm, &r1).unwrap(), v1);
+    assert_eq!(cat(&swarm, &r2).unwrap(), v2);
+    // The second version should cost far less than its full size
+    // (replication factor 2 considered: full cost would be ≥ 240 KB).
+    assert!(
+        added < v2.len() as u64,
+        "dedup failed: second version added {added} bytes for a {} byte file",
+        v2.len()
+    );
+}
+
+#[test]
+fn availability_degrades_gracefully_and_repairs() {
+    let mut swarm = Swarm::new(8, 3);
+    let doc = payload(80_000, 9);
+    let root = add_file(&mut swarm, &doc, Chunker::Fixed(4096), 8);
+
+    // Two arbitrary peer failures cannot lose 3-replicated content.
+    swarm.fail_peer(1);
+    swarm.fail_peer(4);
+    assert_eq!(cat(&swarm, &root).unwrap(), doc);
+
+    // Repair restores full replication for the whole subtree.
+    let made = swarm.repair_subtree(&root).expect("recoverable");
+    swarm.recover_peer(1);
+    swarm.recover_peer(4);
+    assert!(made > 0);
+    assert!(swarm.replica_count(&root) >= 3);
+}
+
+#[test]
+fn directory_of_case_files_resolves_by_name() {
+    use blockprov::storage::{add_directory, resolve};
+    let mut swarm = Swarm::new(4, 2);
+    let report = payload(10_000, 2);
+    let image = payload(30_000, 4);
+    let r_report = add_file(&mut swarm, &report, Chunker::Fixed(1024), 8);
+    let r_image = add_file(&mut swarm, &image, Chunker::Fixed(1024), 8);
+    let dir = add_directory(
+        &mut swarm,
+        &[("report.pdf".into(), r_report), ("disk.img".into(), r_image)],
+    )
+    .unwrap();
+    let resolved = resolve(&swarm, &dir, "disk.img").unwrap();
+    assert_eq!(cat(&swarm, &resolved).unwrap(), image);
+    // One anchored CID covers the whole case directory.
+    let _anchor: Cid = dir;
+}
