@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The single verification entrypoint shared by CI and local builds.
+#
+# Runs the tier-1 command from ROADMAP.md (release build + full test
+# suite) and additionally compiles every criterion bench target, so a
+# bench-only breakage cannot slip past review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== benches compile: cargo bench --no-run =="
+cargo bench --no-run
+
+echo "verify.sh: all checks passed"

@@ -1,0 +1,460 @@
+//! Dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal implementation of the criterion API surface its benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], `b.iter` / `b.iter_batched`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Unlike a mock, this shim *measures*: every benchmark runs a calibrated
+//! timing loop (warm-up, then enough iterations to fill a measurement
+//! window) and reports the median per-iteration wall-clock time, plus
+//! derived throughput when one was declared. Name filtering is honored:
+//! `cargo bench -- <substring>` runs only matching benchmarks. There is no
+//! statistical analysis, outlier rejection, or HTML report — swap the
+//! workspace `criterion` dependency back to crates.io for those.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batches are sized in [`Bencher::iter_batched`].
+///
+/// The shim runs one routine call per batch regardless of the hint; the
+/// variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: batch size chosen so setup cost amortizes away.
+    SmallInput,
+    /// Large input: one routine call per setup call.
+    LargeInput,
+    /// Each batch is exactly one iteration.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, used to derive rate units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark decodes this many bytes per iteration.
+    BytesDecimal(u64),
+}
+
+/// Identifier for one benchmark within a group: a function part and an
+/// optional parameter part, rendered `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter value.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id distinguished only by a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.function, p),
+            (false, None) => write!(f, "{}", self.function),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Median per-iteration time recorded by the last `iter*` call.
+    last_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            warm_up,
+            measurement,
+            last_per_iter: None,
+        }
+    }
+
+    /// Time `routine`, called repeatedly until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_estimate = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Measurement: sample batches sized from the estimate, keep medians.
+        let batch = (self.measurement.as_nanos() / 16 / per_iter_estimate.max(1)).clamp(1, 1 << 20) as u64;
+        let mut samples: Vec<Duration> = Vec::new();
+        let meas_start = Instant::now();
+        while meas_start.elapsed() < self.measurement || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.last_per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std_black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let meas_start = Instant::now();
+        while meas_start.elapsed() < self.measurement || samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        self.last_per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn format_throughput(tp: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Bytes(n) => {
+            // Binary units with binary thresholds, as real criterion does.
+            let rate = n as f64 / secs;
+            if rate >= (1u64 << 30) as f64 {
+                format!("{:.3} GiB/s", rate / (1u64 << 30) as f64)
+            } else if rate >= (1u64 << 20) as f64 {
+                format!("{:.3} MiB/s", rate / (1u64 << 20) as f64)
+            } else {
+                format!("{:.3} KiB/s", rate / 1024.0)
+            }
+        }
+        Throughput::BytesDecimal(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.3} GB/s", rate / 1e9)
+            } else if rate >= 1e6 {
+                format!("{:.3} MB/s", rate / 1e6)
+            } else {
+                format!("{:.3} KB/s", rate / 1e3)
+            }
+        }
+        Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / secs),
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        // Far shorter than real criterion defaults: the shim favors fast
+        // `cargo bench` runs over statistical power.
+        Settings {
+            warm_up: Duration::from_millis(30),
+            measurement: Duration::from_millis(120),
+        }
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor `cargo bench -- <substring>`: the first free (non-flag)
+        // CLI argument filters benchmarks by name, as in real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        // Cargo passes `--bench` only in bench mode. Without it (e.g.
+        // `cargo test --benches`) run each benchmark once, as upstream
+        // does, instead of a full timing loop per benchmark.
+        let settings = if std::env::args().any(|a| a == "--bench") {
+            Settings::default()
+        } else {
+            Settings {
+                warm_up: Duration::ZERO,
+                measurement: Duration::ZERO,
+            }
+        };
+        Criterion { settings, filter }
+    }
+}
+
+impl Criterion {
+    /// Configure the target measurement window (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Configure the warm-up window (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no sample-count model.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, &self.filter, name, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            filter: self.filter.clone(),
+            _criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    filter: &Option<String>,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher::new(settings.warm_up, settings.measurement);
+    f(&mut bencher);
+    match bencher.last_per_iter {
+        Some(per_iter) => {
+            let mut line = format!("bench: {name:<52} {:>12}/iter", format_duration(per_iter));
+            if let Some(tp) = throughput {
+                line.push_str(&format!("  {:>14}", format_throughput(tp, per_iter)));
+            }
+            println!("{line}");
+        }
+        None => println!("bench: {name:<52} (no measurement recorded)"),
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim has no sample-count model.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configure the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Configure the warm-up window for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let name = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &self.filter, &name, self.throughput, &mut f);
+        self
+    }
+
+    /// Run a benchmark in this group against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &self.filter, &name, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group. (The shim reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut c = Criterion::default().warm_up_time(Duration::from_millis(1));
+        c = c.measurement_time(Duration::from_millis(2));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn group_runs_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 1024];
+        group.bench_with_input(BenchmarkId::from_parameter(1024), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,477 @@
+//! Dependency-free stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small real implementation of the proptest API surface its tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` combinators;
+//! * [`prelude::any`] for the primitive types, byte arrays, and
+//!   [`sample::Index`];
+//! * numeric range strategies (`0u64..100`, `0.0f64..1.0`, `1u8..=255`);
+//! * regex-lite string strategies (`"[a-z]{1,12}"`, `"\\PC{0,200}"`);
+//! * [`collection::vec`], [`collection::btree_map`], [`option::of`],
+//!   [`bool::ANY`], [`Just`];
+//! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`],
+//!   [`prop_assert!`]-family and [`prop_assume!`] macros;
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike a mock, cases really are generated from a deterministic per-test
+//! RNG and assertions really fail the test. Known gaps versus upstream:
+//!
+//! * **no shrinking** — a failing case reports the replay seed (panics in
+//!   the case body are caught and re-reported with the seed too), but the
+//!   input is not minimized;
+//! * **narrower distributions** — `any::<char>()` is printable ASCII, and
+//!   `any::<f64>()` mixes wide-magnitude finite values with an overweighted
+//!   edge set (±0.0, NaN, ±∞, `MIN_POSITIVE`, `MAX`, `MIN`) rather than
+//!   upstream's full bit-pattern coverage;
+//! * **no persistence** — failures are not recorded to a regressions file.
+//!
+//! Swap the workspace `proptest` dependency back to crates.io for all of
+//! these.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Strategies for collections (`vec`, `btree_map`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo {
+                self.lo
+            } else {
+                self.lo + (rng.next_u64() as usize) % (self.hi - self.lo + 1)
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `BTreeMap` from key and value strategies.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generate maps with approximately `size` entries (duplicate generated
+    /// keys collapse, so the realized size may be smaller).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Strategies for `Option` values.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option<T>` from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Strategies for `bool` values.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniformly random booleans (mirrors `proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Sampling helpers (mirrors `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection of as-yet-unknown length.
+    ///
+    /// Generated by `any::<Index>()`; call [`Index::index`] with the
+    /// collection length to resolve it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Resolve to a concrete index in `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index called with an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    // Mirrors proptest's `pub use crate as prop;` so `prop::bool::ANY`,
+    // `prop::sample::Index`, `prop::collection::vec` resolve.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Run `cases` property-test cases: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_with_config! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_with_config! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_config {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($arg_strat,)+);
+                $crate::test_runner::run_cases(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        let ($($arg_pat,)+) =
+                            $crate::Strategy::generate(&strategy, rng);
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Compose named argument strategies into a derived-value strategy:
+/// `prop_compose! { fn arb()(x in strat, ..) -> T { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($params:tt)* )
+                 ( $($field_pat:pat in $field_strat:expr),+ $(,)? )
+                 -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($field_strat,)+),
+                move |($($field_pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( Box::new($strat) as Box<dyn $crate::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure fails only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+                left,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it neither passes nor fails) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_generate_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (1u8..40).generate(&mut rng);
+            assert!((1..40).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (5u64..=5).generate(&mut rng);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_spanning_half_the_domain_stay_in_bounds() {
+        let mut rng = TestRng::from_name("signed-ranges");
+        let mut saw_low = false;
+        for _ in 0..400 {
+            let v = (i64::MIN..0i64).generate(&mut rng);
+            assert!(v < 0, "generated {v} outside i64::MIN..0");
+            saw_low |= v < i64::MIN / 2;
+            // The full-width inclusive range must not overflow its span.
+            let _ = (i64::MIN..=i64::MAX).generate(&mut rng);
+            let w = (-128i8..=127).generate(&mut rng);
+            let _ = w;
+        }
+        assert!(saw_low, "lower half of the range never sampled");
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_len() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..100 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = "\\PC{0,20}".generate(&mut rng);
+            assert!(p.chars().count() <= 20);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn collections_and_option_compose() {
+        let mut rng = TestRng::from_name("collections");
+        let v = crate::collection::vec(any::<u8>(), 3..5).generate(&mut rng);
+        assert!(v.len() == 3 || v.len() == 4);
+        let m = crate::collection::btree_map("[a-z]{1,4}", any::<u64>(), 0..6).generate(&mut rng);
+        assert!(m.len() < 6);
+        let _ = crate::option::of(any::<u8>()).generate(&mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_machinery_works(v in any::<u64>(), s in "[a-z]{1,8}",
+                                     xs in prop::collection::vec(any::<u8>(), 0..16),
+                                     flag in prop::bool::ANY,
+                                     idx in any::<prop::sample::Index>()) {
+            prop_assert!(s.len() <= 8);
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(s.len(), 0);
+            if !xs.is_empty() {
+                let _ = xs[idx.index(xs.len())];
+            }
+            prop_assume!(flag || !flag);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in any::<u8>(), b in "[a-z]{1,4}") -> (u8, String) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_and_oneof_work(pair in arb_pair(),
+                                  choice in prop_oneof![Just(1u8), Just(2u8), 5u8..9]) {
+            prop_assert!(pair.1.len() <= 4);
+            prop_assert!(choice == 1 || choice == 2 || (5u8..9).contains(&choice));
+        }
+    }
+}

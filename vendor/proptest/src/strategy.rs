@@ -1,0 +1,512 @@
+//! The [`Strategy`] trait and the built-in strategies: `any`, numeric
+//! ranges, regex-lite string patterns, `Just`, tuples, and combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of one type, driven by the test RNG.
+///
+/// This mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
+/// replaces `new_tree` + simplification.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retain only values for which `f` returns true (retries generation;
+    /// panics after 1000 consecutive rejections).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// Always produce a clone of one value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of a common value type
+/// (the expansion target of [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the candidate strategies. Panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = (rng.next_u64() as usize) % self.options.len();
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u128() as $ty
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // One draw in eight is an edge value; upstream proptest likewise
+        // overweights the special cases float code mishandles.
+        if rng.next_u64() % 8 == 0 {
+            const EDGES: [f64; 8] = [
+                0.0,
+                -0.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::MIN,
+            ];
+            return EDGES[(rng.next_u64() % EDGES.len() as u64) as usize];
+        }
+        // Otherwise finite values spanning a wide magnitude range.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mantissa * 10f64.powi(exp)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20u8 + (rng.next_u64() % 95) as u8) as char
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.end > self.start, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u128() % span) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(hi >= lo, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    if span == 0 {
+                        // Full-width integer range: any value is in range.
+                        return rng.next_u128() as $ty;
+                    }
+                    lo + (rng.next_u128() % span) as $ty
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty : $via:ty : $uvia:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.end > self.start, "empty range strategy");
+                    // The wrapped difference reinterpreted as unsigned is the
+                    // exact span, even when it exceeds the signed maximum
+                    // (e.g. i64::MIN..0); sign-extending it would not be.
+                    let span = (self.end as $via).wrapping_sub(self.start as $via)
+                        as $uvia as u128;
+                    let offset = (rng.next_u128() % span) as $uvia as $via;
+                    ((self.start as $via).wrapping_add(offset)) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(hi >= lo, "empty range strategy");
+                    let span = ((hi as $via).wrapping_sub(lo as $via) as $uvia as u128) + 1;
+                    let offset = (rng.next_u128() % span) as $uvia as $via;
+                    ((lo as $via).wrapping_add(offset)) as $ty
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8: i64: u64, i16: i64: u64, i32: i64: u64, i64: i64: u64, isize: i64: u64);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.end > self.start, "empty range strategy");
+                    let v = self.start + (rng.unit_f64() as $ty) * (self.end - self.start);
+                    // unit_f64 is in [0, 1); clamp paranoia for rounding.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+/// String literals are regex-lite string strategies: `"[a-z]{1,12}"`.
+///
+/// Supported syntax (the subset the workspace uses): a sequence of atoms,
+/// each an explicit char class `[...]` (with `x-y` ranges, literal chars,
+/// and a trailing or leading literal `-`), the escape `\PC` (any
+/// non-control character), or a literal character; each atom optionally
+/// followed by `{n}`, `{lo,hi}`, `*`, `+`, or `?`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.reps.pick(rng);
+            for _ in 0..n {
+                out.push(atom.class.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    /// Explicit set of alternatives, expanded from `[...]`.
+    Set(Vec<(char, char)>),
+    /// `\PC`: any non-control printable-ish character.
+    NonControl,
+}
+
+impl CharClass {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Set(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut k = rng.next_u64() % total.max(1);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if k < span {
+                        return char::from_u32(*lo as u32 + k as u32).unwrap_or(*lo);
+                    }
+                    k -= span;
+                }
+                ranges[0].0
+            }
+            CharClass::NonControl => {
+                // Mostly ASCII printable, occasionally a BMP non-control char.
+                if rng.next_u64() % 8 == 0 {
+                    loop {
+                        let c = 0xA0 + (rng.next_u64() % 0xD7F5F) as u32;
+                        if let Some(ch) = char::from_u32(c) {
+                            if !ch.is_control() {
+                                return ch;
+                            }
+                        }
+                    }
+                } else {
+                    (0x20u8 + (rng.next_u64() % 95) as u8) as char
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Reps {
+    lo: u32,
+    hi: u32,
+}
+
+impl Reps {
+    fn pick(&self, rng: &mut TestRng) -> u32 {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            self.lo + (rng.next_u64() % u64::from(self.hi - self.lo + 1)) as u32
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    reps: Reps,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated char class in pattern {pattern:?}"))
+                    + i;
+                let body: Vec<char> = chars[i + 1..close].to_vec();
+                i = close + 1;
+                CharClass::Set(parse_class(&body, pattern))
+            }
+            '\\' => {
+                let rest: String = chars[i..].iter().collect();
+                if rest.starts_with("\\PC") {
+                    i += 3;
+                    CharClass::NonControl
+                } else if chars.len() > i + 1 {
+                    let c = chars[i + 1];
+                    i += 2;
+                    CharClass::Set(vec![(c, c)])
+                } else {
+                    panic!("dangling escape in pattern {pattern:?}");
+                }
+            }
+            c => {
+                i += 1;
+                CharClass::Set(vec![(c, c)])
+            }
+        };
+        let reps = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition lower bound"),
+                            hi.trim().parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    };
+                    Reps { lo, hi }
+                }
+                '*' => {
+                    i += 1;
+                    Reps { lo: 0, hi: 8 }
+                }
+                '+' => {
+                    i += 1;
+                    Reps { lo: 1, hi: 8 }
+                }
+                '?' => {
+                    i += 1;
+                    Reps { lo: 0, hi: 1 }
+                }
+                _ => Reps { lo: 1, hi: 1 },
+            }
+        } else {
+            Reps { lo: 1, hi: 1 }
+        };
+        atoms.push(Atom { class, reps });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+    assert!(!body.is_empty(), "empty char class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            assert!(
+                body[j] <= body[j + 2],
+                "inverted char range in pattern {pattern:?}"
+            );
+            ranges.push((body[j], body[j + 2]));
+            j += 3;
+        } else {
+            ranges.push((body[j], body[j]));
+            j += 1;
+        }
+    }
+    ranges
+}

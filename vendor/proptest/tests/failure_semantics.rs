@@ -1,0 +1,25 @@
+//! The shim's failure paths must actually fail: a property suite whose
+//! assertions can't fire is vacuous.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn violated_property_panics(v in any::<u64>()) {
+        prop_assert_eq!(v, v.wrapping_add(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn unsatisfiable_assumption_panics(v in any::<u64>()) {
+        prop_assume!(v != v);
+        let _ = v;
+    }
+
+    #[test]
+    #[should_panic(expected = "plain asserts escape the runner")]
+    fn body_panics_propagate(v in 0u64..10) {
+        assert!(v >= 10, "plain asserts escape the runner too");
+    }
+}
