@@ -1,0 +1,147 @@
+//! Ledger at scale — tiered storage vs everything-in-memory.
+//!
+//! The storage-overhead experiments (E3) presuppose provenance history far
+//! larger than RAM. This harness appends ~100k blocks through both store
+//! backends and reports:
+//!
+//! * one-shot: append throughput (blocks/s), resident decoded blocks, and
+//!   on-disk segment layout for `MemStore` vs `TieredStore`;
+//! * timed: canonical tx-lookup latency, hot (repeated id, cache hit) and
+//!   uniform (sweep over all history, mostly cold-tier reads for the
+//!   tiered chain).
+
+use blockprov_ledger::chain::{Chain, ChainConfig};
+use blockprov_ledger::segment::{SegmentConfig, TieredConfig, TieredStore};
+use blockprov_ledger::store::MemStore;
+use blockprov_ledger::tx::{AccountId, Transaction, TxId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SCALE_BLOCKS: u64 = 100_000;
+const TX_EVERY: u64 = 50;
+const HOT_CAPACITY: usize = 256;
+const FINALITY_DEPTH: u64 = 64;
+
+fn chain_config() -> ChainConfig {
+    ChainConfig {
+        finality_depth: Some(FINALITY_DEPTH),
+        ..ChainConfig::default()
+    }
+}
+
+fn tiered_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "blockprov-bench-ledger-scale-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiered_chain(dir: &std::path::Path) -> Chain {
+    let store = TieredStore::open(
+        dir,
+        TieredConfig {
+            segment: SegmentConfig {
+                segment_bytes: 8 * 1024 * 1024,
+            },
+            hot_capacity: HOT_CAPACITY,
+        },
+    )
+    .expect("open tiered store");
+    Chain::with_store(Box::new(store), chain_config())
+}
+
+/// Append `blocks` empty-ish blocks (one indexed tx every `TX_EVERY`),
+/// returning the sample tx ids and the elapsed append time.
+fn grow(chain: &mut Chain, blocks: u64) -> (Vec<TxId>, std::time::Duration) {
+    let sealer = AccountId::from_name("sealer");
+    let mut ids = Vec::new();
+    let start = Instant::now();
+    for i in 0..blocks {
+        let txs = if i % TX_EVERY == 0 {
+            let tx = Transaction::new(AccountId::from_name("auditor"), i, i, 7, vec![0xAA; 24]);
+            ids.push(tx.id());
+            vec![tx]
+        } else {
+            Vec::new()
+        };
+        let block = chain.assemble_next(i + 1, sealer, 0, txs);
+        chain.append(block).expect("append");
+    }
+    (ids, start.elapsed())
+}
+
+/// One-shot 100k-block append measurement for both backends (a measurement,
+/// not a timing loop — printed once, `storage_dedup` style).
+fn report_append_throughput() -> (Chain, Vec<TxId>, Chain, Vec<TxId>, std::path::PathBuf) {
+    let mut mem = Chain::with_store(Box::new(MemStore::new()), chain_config());
+    let (mem_ids, mem_t) = grow(&mut mem, SCALE_BLOCKS);
+    println!(
+        "ledger_scale append [MemStore]: {SCALE_BLOCKS} blocks in {:.2?} \
+         ({:.0} blocks/s), resident blocks {}",
+        mem_t,
+        SCALE_BLOCKS as f64 / mem_t.as_secs_f64(),
+        mem.resident_blocks(),
+    );
+
+    let dir = tiered_dir("grow");
+    let mut tiered = tiered_chain(&dir);
+    let (tiered_ids, tiered_t) = grow(&mut tiered, SCALE_BLOCKS);
+    println!(
+        "ledger_scale append [TieredStore]: {SCALE_BLOCKS} blocks in {:.2?} \
+         ({:.0} blocks/s), resident blocks {} (hot cap {HOT_CAPACITY}), \
+         {} bytes cold, finalized height {}",
+        tiered_t,
+        SCALE_BLOCKS as f64 / tiered_t.as_secs_f64(),
+        tiered.resident_blocks(),
+        tiered.stored_bytes(),
+        tiered.finalized_height(),
+    );
+    assert!(
+        tiered.resident_blocks() <= HOT_CAPACITY,
+        "tiered chain must stay within its hot-set bound"
+    );
+    (mem, mem_ids, tiered, tiered_ids, dir)
+}
+
+fn bench_ledger_scale(c: &mut Criterion) {
+    let (mem, mem_ids, tiered, tiered_ids, dir) = report_append_throughput();
+
+    let mut group = c.benchmark_group("tx_lookup_100k_chain");
+    group.sample_size(20);
+    // Hot lookup: the same recent transaction over and over — the tiered
+    // store serves this from its LRU hot set.
+    for (label, chain, ids) in [
+        ("mem", &mem, &mem_ids),
+        ("tiered", &tiered, &tiered_ids),
+    ] {
+        let hot_id = *ids.last().expect("sample txs");
+        group.bench_with_input(BenchmarkId::new("hot", label), &hot_id, |b, id| {
+            b.iter(|| chain.get_tx(black_box(id)).expect("hot tx"))
+        });
+    }
+    // Uniform lookup: sweep across the whole history — for the tiered
+    // store most probes miss the hot set and hit the cold segment tier.
+    for (label, chain, ids) in [
+        ("mem", &mem, &mem_ids),
+        ("tiered", &tiered, &tiered_ids),
+    ] {
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("uniform", label), &(), |b, _| {
+            b.iter(|| {
+                let id = &ids[cursor % ids.len()];
+                cursor = cursor.wrapping_add(1);
+                chain.get_tx(black_box(id)).expect("indexed tx")
+            })
+        });
+    }
+    group.finish();
+
+    drop(tiered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_ledger_scale);
+criterion_main!(benches);

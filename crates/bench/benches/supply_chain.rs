@@ -1,0 +1,138 @@
+//! Supply-chain provenance costs — custody transfer and privacy-preserving
+//! telemetry (Cui et al. [23] / PrivChain [52] mechanisms on the blockprov
+//! substrate).
+//!
+//! Shapes to reproduce: a two-phase custody transfer anchors a contract
+//! invocation plus a Table 1 record per hop, so hop cost stays flat as the
+//! travel trace grows; range-proof verification cost scales with the bit
+//! width of the committed range, independent of the hidden value.
+
+use blockprov_crypto::rangeproof::RangeWitness;
+use blockprov_crypto::sha256::sha256;
+use blockprov_supply::{PufDevice, SupplyLedger};
+use blockprov_ledger::tx::AccountId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn manufacturer() -> AccountId {
+    AccountId::from_name("acme")
+}
+
+/// A ledger with one registered device and a small participant roster.
+fn seeded_ledger(device_id: &str) -> (SupplyLedger, Vec<AccountId>) {
+    let mut ledger = SupplyLedger::new(vec![manufacturer()]);
+    let mut parties = vec![ledger.register_participant("acme").unwrap()];
+    for name in ["dist-0", "dist-1", "pharmacy", "retailer"] {
+        parties.push(ledger.register_participant(name).unwrap());
+    }
+    let device = PufDevice::manufacture(device_id, 2);
+    ledger
+        .register_device(manufacturer(), device_id, &device)
+        .unwrap();
+    (ledger, parties)
+}
+
+/// Full custody hop: init by the current owner, confirm by the recipient,
+/// custody record anchored with the accumulated travel trace.
+fn bench_custody_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supply_custody_transfer");
+    group.sample_size(20);
+    group.bench_function("two_phase_hop", |b| {
+        let (mut ledger, parties) = seeded_ledger("dev-hop");
+        let mut owner_idx = 0usize;
+        let mut hop = 0u64;
+        b.iter(|| {
+            let owner = parties[owner_idx % parties.len()];
+            let to = parties[(owner_idx + 1) % parties.len()];
+            ledger.init_transfer("dev-hop", owner, to).unwrap();
+            let rid = ledger
+                .confirm_transfer("dev-hop", to, &format!("site-{hop}"))
+                .unwrap();
+            owner_idx += 1;
+            hop += 1;
+            black_box(rid)
+        });
+    });
+    group.finish();
+}
+
+/// Custody verification: on-chain owner lookup + travel-trace readback
+/// after a multi-hop journey.
+fn bench_custody_audit(c: &mut Criterion) {
+    let (mut ledger, parties) = seeded_ledger("dev-audit");
+    for hop in 0..8u64 {
+        let owner = parties[hop as usize % parties.len()];
+        let to = parties[(hop as usize + 1) % parties.len()];
+        ledger.init_transfer("dev-audit", owner, to).unwrap();
+        ledger
+            .confirm_transfer("dev-audit", to, &format!("site-{hop}"))
+            .unwrap();
+    }
+    ledger.seal().unwrap();
+    let mut group = c.benchmark_group("supply_custody_audit");
+    group.sample_size(20);
+    group.bench_function("owner_and_trace_after_8_hops", |b| {
+        b.iter(|| {
+            let owner = ledger.owner_of(black_box("dev-audit")).unwrap();
+            let trace = ledger.travel_trace("dev-audit").unwrap().len();
+            (owner, trace)
+        })
+    });
+    group.finish();
+}
+
+/// PrivChain telemetry: commitment, proving and verification cost as the
+/// committed range widens.
+fn bench_range_proofs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supply_range_proof");
+    group.sample_size(20);
+    for bits in [8u32, 12, 16] {
+        let max = (1u64 << bits) - 1;
+        let value = max / 3;
+        let seed = sha256(b"privchain-bench-seed").0;
+        let (witness, commitment) = RangeWitness::commit(value, max, &seed).unwrap();
+        let proof = witness.prove(0, max / 2).unwrap();
+        assert!(proof.verify(&commitment));
+
+        group.bench_with_input(BenchmarkId::new("prove", bits), &bits, |b, _| {
+            b.iter(|| witness.prove(black_box(0), black_box(max / 2)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify", bits), &bits, |b, _| {
+            b.iter(|| proof.verify(black_box(&commitment)))
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end telemetry round: commit a reading on the ledger, prove the
+/// range, submit the proof and earn the incentive credit.
+fn bench_telemetry_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supply_telemetry_round");
+    group.sample_size(20);
+    group.bench_function("commit_prove_submit_12bit", |b| {
+        let (mut ledger, parties) = seeded_ledger("dev-cold");
+        let sensor = parties[1];
+        let mut round = 0u64;
+        b.iter(|| {
+            let seed = sha256(&round.to_le_bytes()).0;
+            let (witness, idx) = ledger
+                .commit_reading(sensor, "dev-cold", 1_000 + round % 7, 4_095, &seed)
+                .unwrap();
+            let proof = witness.prove(0, 2_048).unwrap();
+            let ok = ledger.submit_range_proof(idx, &proof).unwrap();
+            round += 1;
+            assert!(ok);
+            ok
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_custody_transfer,
+    bench_custody_audit,
+    bench_range_proofs,
+    bench_telemetry_round
+);
+criterion_main!(benches);

@@ -461,7 +461,10 @@ mod tests {
     #[test]
     fn elects_exactly_one_leader_per_term() {
         let mut sim = cluster(5, 0);
-        sim.run_to_quiescence(100_000);
+        // Event budget, not virtual time: an idle cluster keeps heartbeat
+        // timers alive forever, so the budget is always consumed in full.
+        // An election needs a few hundred events; 10k is ample.
+        sim.run_to_quiescence(10_000);
         let leaders: Vec<_> = sim.nodes().filter(|n| n.role() == Role::Leader).collect();
         assert_eq!(leaders.len(), 1, "exactly one leader");
     }

@@ -67,6 +67,11 @@ pub struct LedgerConfig {
     pub cache_capacity: usize,
     /// Enforce Table 1 required fields on submit.
     pub enforce_schema: bool,
+    /// Checkpoint finality depth: blocks this far behind the tip become
+    /// irreversible, their fork metadata is pruned and their bodies may be
+    /// demoted to the block store's cold tier. `None` keeps every fork
+    /// replayable forever (the seed behaviour).
+    pub finality_depth: Option<u64>,
 }
 
 impl LedgerConfig {
@@ -86,6 +91,7 @@ impl LedgerConfig {
             max_block_txs: 1_000,
             cache_capacity: 256,
             enforce_schema: true,
+            finality_depth: None,
         }
     }
 
@@ -101,6 +107,7 @@ impl LedgerConfig {
             max_block_txs: 1_000,
             cache_capacity: 256,
             enforce_schema: true,
+            finality_depth: None,
         }
     }
 
@@ -122,6 +129,7 @@ impl LedgerConfig {
             max_block_txs: 1_000,
             cache_capacity: 256,
             enforce_schema: false,
+            finality_depth: None,
         }
     }
 
@@ -140,6 +148,12 @@ impl LedgerConfig {
     /// Builder: set the storage mode.
     pub fn with_storage(mut self, storage: StorageMode) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Builder: enable checkpoint finality at `depth` blocks behind the tip.
+    pub fn with_finality(mut self, depth: u64) -> Self {
+        self.finality_depth = Some(depth);
         self
     }
 }

@@ -136,10 +136,27 @@ impl ArcRelay {
     /// A consortium relay over `chains` with `validators` members and the
     /// given trust model.
     pub fn new(chains: &[&str], validators: usize, trust: TrustModel) -> Self {
+        Self::with_key_capacity(chains, validators, trust, 6)
+    }
+
+    /// Like [`ArcRelay::new`] with an explicit validator signing capacity
+    /// (`2^key_height` batch signatures per validator) — short simulations
+    /// should pass a small height, keygen cost is linear in the leaf count.
+    pub fn with_key_capacity(
+        chains: &[&str],
+        validators: usize,
+        trust: TrustModel,
+        key_height: u32,
+    ) -> Self {
         Self {
             chains: chains.iter().map(|c| c.to_string()).collect(),
             trust,
-            committee: NotaryCommittee::with_prefix("arc-validator", validators, validators),
+            committee: NotaryCommittee::with_prefix_and_capacity(
+                "arc-validator",
+                validators,
+                validators,
+                key_height,
+            ),
             pending: Vec::new(),
             requests: BTreeMap::new(),
             batches: Vec::new(),
@@ -294,7 +311,7 @@ mod tests {
     use super::*;
 
     fn relay(trust: TrustModel) -> ArcRelay {
-        ArcRelay::new(&["org-a", "org-b", "org-c"], 4, trust)
+        ArcRelay::with_key_capacity(&["org-a", "org-b", "org-c"], 4, trust, 3)
     }
 
     #[test]

@@ -149,6 +149,16 @@ impl NotaryConnector {
     pub fn new(n: usize, t: usize) -> Self {
         Self { committee: NotaryCommittee::new(n, t), log: Vec::new() }
     }
+
+    /// Committee with an explicit per-member signing capacity
+    /// (`2^key_height` attestations) — small heights keep keygen cheap in
+    /// short-lived simulations.
+    pub fn with_capacity(n: usize, t: usize, key_height: u32) -> Self {
+        Self {
+            committee: NotaryCommittee::with_prefix_and_capacity("notary", n, t, key_height),
+            log: Vec::new(),
+        }
+    }
 }
 
 impl ChainConnector for NotaryConnector {
@@ -491,7 +501,7 @@ mod tests {
 
     #[test]
     fn notary_connector_conforms() {
-        let report = conformance(&mut NotaryConnector::new(4, 3));
+        let report = conformance(&mut NotaryConnector::with_capacity(4, 3, 3));
         assert!(report.passed(), "{report:?}");
     }
 
@@ -515,7 +525,7 @@ mod tests {
 
     #[test]
     fn receipts_are_not_interchangeable_across_messages() {
-        let mut c = NotaryConnector::new(4, 3);
+        let mut c = NotaryConnector::with_capacity(4, 3, 3);
         let m1 = msg(1);
         let m2 = msg(2);
         let r1 = c.transfer(&m1).unwrap();
@@ -525,7 +535,7 @@ mod tests {
 
     #[test]
     fn receipts_are_not_interchangeable_across_mechanisms() {
-        let mut notary = NotaryConnector::new(4, 3);
+        let mut notary = NotaryConnector::with_capacity(4, 3, 3);
         let mut htlc = HtlcConnector::new();
         let m = msg(5);
         let nr = notary.transfer(&m).unwrap();
@@ -554,7 +564,7 @@ mod tests {
     fn all_mechanisms_carry_the_same_message() {
         // The unified interface: one message, four mechanisms.
         let m = msg(42);
-        let mut notary = NotaryConnector::new(4, 3);
+        let mut notary = NotaryConnector::with_capacity(4, 3, 3);
         let mut relay = RelayConnector::new("src");
         let mut htlc = HtlcConnector::new();
         let mut anchored = AnchoredConnector::new();

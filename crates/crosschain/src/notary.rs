@@ -63,9 +63,22 @@ impl NotaryCommittee {
     /// Create a committee whose keys derive from a distinct name prefix
     /// (separate federations must not share keys).
     pub fn with_prefix(prefix: &str, n: usize, threshold: usize) -> Self {
+        Self::with_prefix_and_capacity(prefix, n, threshold, 6)
+    }
+
+    /// Like [`NotaryCommittee::with_prefix`] with an explicit signing
+    /// capacity: each member key holds `2^key_height` one-time signatures.
+    /// MSS keygen cost is linear in the leaf count, so simulations and
+    /// tests that attest a handful of events should pass a small height.
+    pub fn with_prefix_and_capacity(
+        prefix: &str,
+        n: usize,
+        threshold: usize,
+        key_height: u32,
+    ) -> Self {
         assert!(threshold > 0 && threshold <= n, "threshold in 1..=n");
         let members: Vec<Keypair> = (0..n)
-            .map(|i| Keypair::from_name(&format!("{prefix}-{i}"), OtsScheme::Wots, 6))
+            .map(|i| Keypair::from_name(&format!("{prefix}-{i}"), OtsScheme::Wots, key_height))
             .collect();
         let public_keys = members.iter().map(Keypair::public_key).collect();
         Self {
@@ -152,21 +165,21 @@ mod tests {
 
     #[test]
     fn threshold_attestation_verifies() {
-        let mut committee = NotaryCommittee::new(5, 3);
+        let mut committee = NotaryCommittee::with_prefix_and_capacity("notary", 5, 3, 3);
         let att = committee.attest(&event(), &[0, 2, 4]);
         assert!(NotaryCommittee::verify(committee.public_keys(), 3, &att));
     }
 
     #[test]
     fn below_threshold_rejected() {
-        let mut committee = NotaryCommittee::new(5, 3);
+        let mut committee = NotaryCommittee::with_prefix_and_capacity("notary", 5, 3, 3);
         let att = committee.attest(&event(), &[0, 1]);
         assert!(!NotaryCommittee::verify(committee.public_keys(), 3, &att));
     }
 
     #[test]
     fn duplicate_signers_do_not_double_count() {
-        let mut committee = NotaryCommittee::new(5, 3);
+        let mut committee = NotaryCommittee::with_prefix_and_capacity("notary", 5, 3, 3);
         let mut att = committee.attest(&event(), &[0, 1]);
         // Replay member 0's signature a second time.
         let dup = att.signatures[0].clone();
@@ -176,7 +189,7 @@ mod tests {
 
     #[test]
     fn tampered_event_rejected() {
-        let mut committee = NotaryCommittee::new(4, 2);
+        let mut committee = NotaryCommittee::with_prefix_and_capacity("notary", 4, 2, 3);
         let mut att = committee.attest(&event(), &[0, 1]);
         att.event.height += 1;
         assert!(!NotaryCommittee::verify(committee.public_keys(), 2, &att));
@@ -184,8 +197,8 @@ mod tests {
 
     #[test]
     fn foreign_signatures_rejected() {
-        let committee = NotaryCommittee::new(4, 2);
-        let mut rogue = NotaryCommittee::with_prefix("rogue", 4, 2);
+        let committee = NotaryCommittee::with_prefix_and_capacity("notary", 4, 2, 3);
+        let mut rogue = NotaryCommittee::with_prefix_and_capacity("rogue", 4, 2, 3);
         // Rogue committee (different keys) signs the same event.
         let att = rogue.attest(&event(), &[0, 1]);
         assert!(!NotaryCommittee::verify(committee.public_keys(), 2, &att));

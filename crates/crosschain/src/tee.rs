@@ -77,7 +77,15 @@ impl fmt::Debug for Vendor {
 impl Vendor {
     /// A vendor root derived from a seed.
     pub fn new(seed: &str) -> Self {
-        Self { keypair: Keypair::from_name(seed, OtsScheme::Wots, 8) }
+        Self::with_capacity(seed, 8)
+    }
+
+    /// A vendor root with an explicit certification capacity
+    /// (`2^key_height` enclave certificates; keygen is linear in leaves).
+    pub fn with_capacity(seed: &str, key_height: u32) -> Self {
+        Self {
+            keypair: Keypair::from_name(seed, OtsScheme::Wots, key_height),
+        }
     }
 
     /// The vendor's root verification key (pinned by relying parties).
@@ -151,10 +159,23 @@ impl Enclave {
         logic_digest: Hash256,
         program: QueryProgram,
     ) -> Result<Self, SigningError> {
+        Self::launch_with_capacity(vendor, name, version, logic_digest, program, 8)
+    }
+
+    /// Like [`Enclave::launch`] with an explicit attestation capacity
+    /// (`2^key_height` attested results before the enclave key runs out).
+    pub fn launch_with_capacity(
+        vendor: &mut Vendor,
+        name: &str,
+        version: u32,
+        logic_digest: Hash256,
+        program: QueryProgram,
+        key_height: u32,
+    ) -> Result<Self, SigningError> {
         let keypair = Keypair::from_name(
             &format!("enclave/{name}/{version}/{logic_digest}"),
             OtsScheme::Wots,
-            8,
+            key_height,
         );
         let measurement = Measurement::of_program(name, version, &logic_digest);
         let cert = vendor.certify(keypair.public_key(), measurement)?;
@@ -260,13 +281,14 @@ mod tests {
     }
 
     fn setup() -> (Vendor, Enclave, Measurement) {
-        let mut vendor = Vendor::new("chipmaker-root");
-        let enclave = Enclave::launch(
+        let mut vendor = Vendor::with_capacity("chipmaker-root", 4);
+        let enclave = Enclave::launch_with_capacity(
             &mut vendor,
             "vassago-trace",
             1,
             sha256(b"trace-program-binary-v1"),
             trace_program(),
+            4,
         )
         .unwrap();
         let m = enclave.measurement();
@@ -296,12 +318,13 @@ mod tests {
     fn wrong_program_measurement_rejected() {
         let (mut vendor, _, _) = setup();
         // A different (perhaps malicious) program, certified honestly.
-        let mut other = Enclave::launch(
+        let mut other = Enclave::launch_with_capacity(
             &mut vendor,
             "vassago-trace",
             2, // different version → different measurement
             sha256(b"trace-program-binary-v2"),
             trace_program(),
+            4,
         )
         .unwrap();
         let result = other.execute(b"asset-42").unwrap();
@@ -320,7 +343,7 @@ mod tests {
     #[test]
     fn forged_certificate_rejected() {
         let (vendor, mut enclave, m) = setup();
-        let mut rogue_vendor = Vendor::new("rogue-fab");
+        let mut rogue_vendor = Vendor::with_capacity("rogue-fab", 4);
         let mut result = enclave.execute(b"asset-42").unwrap();
         // Substitute a certificate from an unpinned vendor.
         result.cert = rogue_vendor.certify(result.cert.enclave_pk, m).unwrap();

@@ -42,9 +42,17 @@ impl fmt::Debug for IotDevice {
 impl IotDevice {
     /// Manufacture a device with a seeded identity key (2^10 signatures).
     pub fn new(id: &str) -> Self {
+        Self::with_capacity(id, 10)
+    }
+
+    /// Manufacture a device whose identity key holds `2^key_height`
+    /// signatures. MSS keygen is linear in the leaf count, so fleet
+    /// simulations that capture a handful of evidence items per device
+    /// should pass a small height.
+    pub fn with_capacity(id: &str, key_height: u32) -> Self {
         Self {
             id: id.to_string(),
-            keypair: Keypair::from_name(&format!("iot-device/{id}"), OtsScheme::Wots, 10),
+            keypair: Keypair::from_name(&format!("iot-device/{id}"), OtsScheme::Wots, key_height),
             next_seq: 0,
         }
     }
@@ -265,7 +273,7 @@ mod tests {
 
     fn framework_with_cam() -> (IotForensics, IotDevice) {
         let mut fw = IotForensics::new();
-        let cam = IotDevice::new("cam-lobby-3");
+        let cam = IotDevice::with_capacity("cam-lobby-3", 4);
         fw.enroll(&cam).unwrap();
         (fw, cam)
     }
@@ -285,7 +293,7 @@ mod tests {
     fn forged_evidence_rejected() {
         let (mut fw, _) = framework_with_cam();
         // A rogue device mimics the enrolled id but has its own key.
-        let mut rogue = IotDevice::new("cam-lobby-3-clone");
+        let mut rogue = IotDevice::with_capacity("cam-lobby-3-clone", 4);
         let mut ev = rogue.capture(b"planted");
         ev.device = "cam-lobby-3".into();
         assert_eq!(fw.acquire(&ev, b"planted").unwrap_err(), IotError::BadSignature);
@@ -317,7 +325,7 @@ mod tests {
     fn unknown_and_duplicate_devices() {
         let (mut fw, cam) = framework_with_cam();
         assert_eq!(fw.enroll(&cam).unwrap_err(), IotError::DuplicateDevice("cam-lobby-3".into()));
-        let mut ghost = IotDevice::new("never-enrolled");
+        let mut ghost = IotDevice::with_capacity("never-enrolled", 4);
         let ev = ghost.capture(b"x");
         assert_eq!(
             fw.acquire(&ev, b"x").unwrap_err(),
@@ -328,8 +336,8 @@ mod tests {
     #[test]
     fn multi_device_sweep_root_is_stable_and_tamper_sensitive() {
         let mut fw = IotForensics::new();
-        let mut cam = IotDevice::new("cam-1");
-        let mut lock = IotDevice::new("door-lock-7");
+        let mut cam = IotDevice::with_capacity("cam-1", 4);
+        let mut lock = IotDevice::with_capacity("door-lock-7", 4);
         fw.enroll(&cam).unwrap();
         fw.enroll(&lock).unwrap();
         for i in 0..3u8 {

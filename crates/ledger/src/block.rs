@@ -30,6 +30,42 @@ impl Codec for BlockHash {
     }
 }
 
+/// A finality checkpoint: a height/hash pair the chain treats as
+/// irreversible.
+///
+/// Once a block is checkpointed, fork choice never reorgs across it, its
+/// fork-path undo metadata is dropped, and its decoded body may be demoted
+/// from the hot tier to cold storage. Checkpoints are `Codec` so header
+/// relays and light verifiers can ship them as trusted anchors (the
+/// "trusted checkpoint" a [`crate::chain::TxInclusionProof`] verifier
+/// starts from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Height of the checkpointed block.
+    pub height: u64,
+    /// Hash of the checkpointed block.
+    pub hash: BlockHash,
+}
+
+impl fmt::Display for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint@{}:{}", self.height, self.hash)
+    }
+}
+
+impl Codec for Checkpoint {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.height);
+        self.hash.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            height: r.get_u64()?,
+            hash: BlockHash::decode(r)?,
+        })
+    }
+}
+
 /// The fields of Figure 2: previous hash, Merkle root, plus consensus
 /// metadata (difficulty + nonce for PoW, proposer for PoS/PBFT/PoA).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -311,5 +347,15 @@ mod tests {
         let decoded = Block::from_wire(&b.to_wire()).unwrap();
         assert_eq!(decoded, b);
         assert_eq!(decoded.hash(), b.hash());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_display() {
+        let cp = Checkpoint {
+            height: 42,
+            hash: sample_block(1).hash(),
+        };
+        assert_eq!(Checkpoint::from_wire(&cp.to_wire()).unwrap(), cp);
+        assert!(cp.to_string().starts_with("checkpoint@42:"));
     }
 }

@@ -1,12 +1,21 @@
-//! The chain: validation, fork choice, canonical indexes and integrity
-//! verification.
+//! The chain: validation, fork choice, canonical indexes, checkpoint
+//! finality and integrity verification.
+//!
+//! Storage seam: the chain owns a pluggable [`BlockStore`] and never assumes
+//! blocks stay resident in memory. Canonical indexes are maintained
+//! *incrementally* across reorgs (undo back to the fork point, redo along
+//! the winning branch) instead of rebuilt from scratch, and a configured
+//! finality depth turns old blocks into checkpoints: their fork metadata is
+//! pruned and their decoded bodies are demoted to the store's cold tier. The
+//! combination gives bounded resident memory over unbounded history when
+//! paired with [`crate::segment::TieredStore`].
 
-use crate::block::{Block, BlockHash, BlockHeader};
+use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
 use crate::store::{BlockStore, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
 use blockprov_crypto::sha256::Hash256;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +44,12 @@ pub struct ChainConfig {
     pub timestamp_tolerance_ms: u64,
     /// Enforce per-author nonce sequencing on the canonical chain.
     pub enforce_nonces: bool,
+    /// Checkpoint finality depth: blocks this far behind the tip become
+    /// irreversible — fork choice refuses to reorg across them, stale fork
+    /// metadata at or below the checkpoint is pruned, and finalized blocks
+    /// are demoted from the store's hot tier. `None` disables finality
+    /// (every historical fork stays replayable forever).
+    pub finality_depth: Option<u64>,
 }
 
 impl Default for ChainConfig {
@@ -45,6 +60,7 @@ impl Default for ChainConfig {
             max_block_txs: 10_000,
             timestamp_tolerance_ms: 5_000,
             enforce_nonces: false,
+            finality_depth: None,
         }
     }
 }
@@ -78,6 +94,8 @@ pub enum ValidationError {
     },
     /// The block is already stored.
     Duplicate(BlockHash),
+    /// The block forks at or below the finality checkpoint.
+    BelowFinality { finalized: u64, got: u64 },
 }
 
 impl fmt::Display for ValidationError {
@@ -107,6 +125,9 @@ impl fmt::Display for ValidationError {
                 write!(f, "bad nonce for {author}: expected {expected}, got {got}")
             }
             ValidationError::Duplicate(h) => write!(f, "duplicate block {h}"),
+            ValidationError::BelowFinality { finalized, got } => {
+                write!(f, "height {got} at or below finality checkpoint {finalized}")
+            }
         }
     }
 }
@@ -156,8 +177,31 @@ impl TxInclusionProof {
     }
 }
 
-/// Canonical-chain indexes (rebuilt on reorg).
-#[derive(Debug, Default)]
+/// One transaction's worth of index undo state, captured while absorbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TxUndo {
+    id: TxId,
+    author: AccountId,
+    kind: u16,
+    /// Previous canonical location of this id (normally `None`; `Some` when
+    /// the same id also appears in an earlier canonical block).
+    prev_loc: Option<(BlockHash, u32)>,
+    /// Author's `next_nonce` before this transaction (`None` = no entry).
+    prev_nonce: Option<u64>,
+}
+
+/// Everything needed to un-absorb one block from the canonical indexes
+/// without touching the block body — reorgs never re-read evicted blocks on
+/// the losing side of the fork.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BlockUndo {
+    txs: Vec<TxUndo>,
+}
+
+/// Canonical-chain indexes, maintained incrementally: extending the tip
+/// absorbs one block, a reorg un-absorbs back to the fork point and
+/// re-absorbs along the winning branch.
+#[derive(Debug, Default, PartialEq, Eq)]
 struct ChainIndex {
     tx_loc: HashMap<TxId, (BlockHash, u32)>,
     by_author: HashMap<AccountId, Vec<TxId>>,
@@ -166,21 +210,72 @@ struct ChainIndex {
 }
 
 impl ChainIndex {
-    fn absorb(&mut self, block: &Block) {
+    /// Index a block that just became canonical; returns the undo record
+    /// that exactly reverses this call.
+    fn absorb(&mut self, block: &Block) -> BlockUndo {
         let hash = block.hash();
+        let mut undo = Vec::with_capacity(block.txs.len());
         for (i, tx) in block.txs.iter().enumerate() {
             let id = tx.id();
-            self.tx_loc.insert(id, (hash, i as u32));
+            let prev_loc = self.tx_loc.insert(id, (hash, i as u32));
             self.by_author.entry(tx.author).or_default().push(id);
             self.by_kind.entry(tx.kind).or_default().push(id);
+            let prev_nonce = self.next_nonce.get(&tx.author).copied();
             let next = self.next_nonce.entry(tx.author).or_insert(0);
             *next = (*next).max(tx.nonce + 1);
+            undo.push(TxUndo {
+                id,
+                author: tx.author,
+                kind: tx.kind,
+                prev_loc,
+                prev_nonce,
+            });
+        }
+        BlockUndo { txs: undo }
+    }
+
+    /// Reverse one [`ChainIndex::absorb`]. Must be applied in reverse
+    /// canonical order (newest un-absorbed first), which makes each
+    /// transaction the current tail of its author/kind lists.
+    fn unabsorb(&mut self, undo: BlockUndo) {
+        for u in undo.txs.into_iter().rev() {
+            match u.prev_loc {
+                Some(loc) => {
+                    self.tx_loc.insert(u.id, loc);
+                }
+                None => {
+                    self.tx_loc.remove(&u.id);
+                }
+            }
+            if let Some(list) = self.by_author.get_mut(&u.author) {
+                debug_assert_eq!(list.last(), Some(&u.id), "undo out of order");
+                list.pop();
+                if list.is_empty() {
+                    self.by_author.remove(&u.author);
+                }
+            }
+            if let Some(list) = self.by_kind.get_mut(&u.kind) {
+                debug_assert_eq!(list.last(), Some(&u.id), "undo out of order");
+                list.pop();
+                if list.is_empty() {
+                    self.by_kind.remove(&u.kind);
+                }
+            }
+            match u.prev_nonce {
+                Some(n) => {
+                    self.next_nonce.insert(u.author, n);
+                }
+                None => {
+                    self.next_nonce.remove(&u.author);
+                }
+            }
         }
     }
 }
 
 /// The blockchain: stores all blocks (forks included), tracks the heaviest
-/// tip, and maintains canonical-chain indexes.
+/// tip, maintains canonical-chain indexes and advances a finality
+/// checkpoint.
 pub struct Chain {
     config: ChainConfig,
     store: Box<dyn BlockStore>,
@@ -190,6 +285,15 @@ pub struct Chain {
     /// `canonical[h]` = canonical block hash at height `h`.
     canonical: Vec<BlockHash>,
     index: ChainIndex,
+    /// Undo records for canonical blocks above the finality checkpoint —
+    /// exactly the blocks a reorg may still un-absorb.
+    undo: HashMap<BlockHash, BlockUndo>,
+    /// Every non-finalized block (canonical and fork) by height, for
+    /// finality pruning without a full `meta` sweep.
+    at_height: HashMap<u64, Vec<BlockHash>>,
+    /// Height of the current finality checkpoint (0 = only genesis final…
+    /// and genesis is only treated as final once a depth is configured).
+    finalized_height: u64,
 }
 
 impl Chain {
@@ -201,8 +305,8 @@ impl Chain {
     /// Create a chain over a custom store.
     ///
     /// If the store already holds a genesis-compatible history it is *not*
-    /// replayed — this constructor always starts a fresh lineage. (Replay is
-    /// application-level: see `blockprov-core`.)
+    /// replayed — this constructor always starts a fresh lineage. Use
+    /// [`Chain::replay`] to resume from a durable store.
     pub fn with_store(mut store: Box<dyn BlockStore>, config: ChainConfig) -> Self {
         let genesis_block = Self::genesis_block();
         let genesis = genesis_block.hash();
@@ -218,6 +322,8 @@ impl Chain {
         );
         let mut index = ChainIndex::default();
         index.absorb(&arc);
+        let mut at_height = HashMap::new();
+        at_height.insert(0u64, vec![genesis]);
         Self {
             config,
             store,
@@ -226,7 +332,48 @@ impl Chain {
             genesis,
             canonical: vec![genesis],
             index,
+            undo: HashMap::new(),
+            at_height,
+            finalized_height: 0,
         }
+    }
+
+    /// Rebuild a chain from the blocks already persisted in `store`.
+    ///
+    /// The store is scanned (parents before children), the deterministic
+    /// genesis is matched, and every other block is re-validated and
+    /// re-appended under `config` — fork choice, canonical indexes and the
+    /// finality checkpoint all land where the original process left them.
+    /// Resident memory stays bounded by the store's hot tier: the scan only
+    /// retains `(height, hash)` pairs, and bodies are fetched one at a time.
+    pub fn replay(store: Box<dyn BlockStore>, config: ChainConfig) -> std::io::Result<Self> {
+        let mut order: Vec<(u64, BlockHash)> = Vec::new();
+        store.scan(&mut |b| order.push((b.header.height, b.hash())))?;
+        // Stable sort: parents (strictly lower height) come first, original
+        // append order is preserved within a height.
+        order.sort_by_key(|&(h, _)| h);
+        let mut chain = Self::with_store(store, config);
+        for (_, hash) in order {
+            if chain.meta.contains_key(&hash) {
+                continue; // genesis (or a duplicate frame)
+            }
+            let block = chain
+                .store
+                .get(&hash)
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("replay: scanned block {hash} missing from store"),
+                    )
+                })?;
+            chain.append((*block).clone()).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("replay: stored block {hash} no longer valid: {e}"),
+                )
+            })?;
+        }
+        Ok(chain)
     }
 
     /// The deterministic genesis block shared by every chain instance.
@@ -270,6 +417,19 @@ impl Chain {
         self.genesis
     }
 
+    /// Height of the finality checkpoint (0 until finality advances).
+    pub fn finalized_height(&self) -> u64 {
+        self.finalized_height
+    }
+
+    /// The current finality checkpoint, when a finality depth is configured.
+    pub fn checkpoint(&self) -> Option<Checkpoint> {
+        self.config.finality_depth.map(|_| Checkpoint {
+            height: self.finalized_height,
+            hash: self.canonical[self.finalized_height as usize],
+        })
+    }
+
     /// Fetch any stored block (canonical or fork).
     pub fn block(&self, hash: &BlockHash) -> Option<Arc<Block>> {
         self.store.get(hash)
@@ -291,6 +451,12 @@ impl Chain {
     /// Total blocks stored (including forks).
     pub fn stored_blocks(&self) -> usize {
         self.store.len()
+    }
+
+    /// Decoded blocks currently resident in memory — bounded by the hot-set
+    /// capacity when the chain runs over a tiered store.
+    pub fn resident_blocks(&self) -> usize {
+        self.store.resident_blocks()
     }
 
     /// Bytes held by the block store (E3 storage accounting).
@@ -353,6 +519,14 @@ impl Chain {
         if block.header.height != parent_meta.height + 1 {
             return Err(ValidationError::BadHeight {
                 expected: parent_meta.height + 1,
+                got: block.header.height,
+            });
+        }
+        // Finality: a block at or below the checkpoint would fork across an
+        // irreversible boundary.
+        if self.config.finality_depth.is_some() && block.header.height <= self.finalized_height {
+            return Err(ValidationError::BelowFinality {
+                finalized: self.finalized_height,
                 got: block.header.height,
             });
         }
@@ -428,7 +602,7 @@ impl Chain {
         Ok(())
     }
 
-    /// Validate and insert a block, updating fork choice.
+    /// Validate and insert a block, updating fork choice and finality.
     pub fn append(&mut self, block: Block) -> Result<AppendOutcome, ValidationError> {
         self.validate(&block)?;
         let hash = block.hash();
@@ -441,6 +615,7 @@ impl Chain {
         let extends_tip = block.header.prev == self.tip;
         let arc = self.store.put(block).expect("store put");
         self.meta.insert(hash, meta);
+        self.at_height.entry(meta.height).or_default().push(hash);
 
         let tip_work = self.meta[&self.tip].total_work;
         let wins = meta.total_work > tip_work;
@@ -448,16 +623,18 @@ impl Chain {
             // Fast path: extend canonical chain incrementally.
             self.tip = hash;
             self.canonical.push(hash);
-            self.index.absorb(&arc);
+            let undo = self.index.absorb(&arc);
+            self.undo.insert(hash, undo);
+            self.advance_finality();
             Ok(AppendOutcome {
                 hash,
                 new_tip: true,
                 reorged: false,
             })
         } else if wins {
-            // Reorg: rebuild the canonical path and indexes.
-            self.tip = hash;
-            self.rebuild_canonical();
+            // Reorg: undo the losing suffix, redo along the winning branch.
+            self.reorg_to(hash);
+            self.advance_finality();
             Ok(AppendOutcome {
                 hash,
                 new_tip: true,
@@ -472,19 +649,89 @@ impl Chain {
         }
     }
 
-    fn rebuild_canonical(&mut self) {
-        let mut path = Vec::new();
-        let mut cursor = self.tip;
-        while cursor != BlockHash::ZERO {
-            path.push(cursor);
+    /// Move the canonical chain to `new_tip` incrementally: walk the new
+    /// branch back to its canonical ancestor, un-absorb the old suffix
+    /// (newest first, from undo records — no block bodies are re-read on
+    /// the losing side), then absorb the new branch oldest first.
+    fn reorg_to(&mut self, new_tip: BlockHash) {
+        let mut branch = vec![new_tip];
+        let mut cursor = self.meta[&new_tip].parent;
+        while !self.is_canonical(&cursor) {
+            branch.push(cursor);
             cursor = self.meta[&cursor].parent;
         }
-        path.reverse();
-        self.canonical = path;
-        self.index = ChainIndex::default();
-        for hash in &self.canonical {
-            let block = self.store.get(hash).expect("canonical block stored");
-            self.index.absorb(&block);
+        let ancestor_height = self.meta[&cursor].height;
+        debug_assert!(
+            ancestor_height >= self.finalized_height,
+            "fork choice must never cross the finality checkpoint"
+        );
+        while self.height() > ancestor_height {
+            let old = self.canonical.pop().expect("suffix non-empty");
+            let undo = self
+                .undo
+                .remove(&old)
+                .expect("non-finalized canonical block has an undo record");
+            self.index.unabsorb(undo);
+        }
+        for hash in branch.iter().rev() {
+            let block = self.store.get(hash).expect("branch block stored");
+            let undo = self.index.absorb(&block);
+            self.undo.insert(*hash, undo);
+            self.canonical.push(*hash);
+        }
+        self.tip = new_tip;
+    }
+
+    /// Advance the finality checkpoint to `height - depth`, pruning stale
+    /// fork metadata at newly-final heights (plus any fork descendants that
+    /// become orphaned) and demoting finalized canonical blocks to the
+    /// store's cold tier.
+    fn advance_finality(&mut self) {
+        let Some(depth) = self.config.finality_depth else {
+            return;
+        };
+        let new_fin = self.height().saturating_sub(depth);
+        if new_fin <= self.finalized_height {
+            return;
+        }
+        let old_fin = self.finalized_height;
+        self.finalized_height = new_fin;
+        // Prune newly-final heights.
+        let mut orphan_frontier: HashSet<BlockHash> = HashSet::new();
+        for h in (old_fin + 1)..=new_fin {
+            let canon = self.canonical[h as usize];
+            self.undo.remove(&canon);
+            self.store.demote(&canon);
+            if let Some(list) = self.at_height.remove(&h) {
+                for hash in list {
+                    if hash != canon {
+                        self.meta.remove(&hash);
+                        orphan_frontier.insert(hash);
+                    }
+                }
+            }
+        }
+        // Cascade: fork blocks above the checkpoint whose ancestry was just
+        // pruned can never win fork choice again — drop their metadata too.
+        let tip_height = self.height();
+        let mut h = new_fin + 1;
+        while !orphan_frontier.is_empty() && h <= tip_height {
+            let mut next = HashSet::new();
+            let meta = &mut self.meta;
+            if let Some(list) = self.at_height.get_mut(&h) {
+                list.retain(|hash| {
+                    let parent = meta[hash].parent;
+                    if orphan_frontier.contains(&parent) {
+                        meta.remove(hash);
+                        next.insert(*hash);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            orphan_frontier = next;
+            h += 1;
         }
     }
 
@@ -521,6 +768,22 @@ impl Chain {
             prev_hash = *hash;
         }
         Ok(())
+    }
+
+    /// Audit helper: rebuild the canonical indexes from scratch and compare
+    /// with the incrementally-maintained ones. `true` means they agree —
+    /// the invariant the incremental undo/redo machinery must preserve
+    /// across any fork/reorg/finality sequence.
+    pub fn index_consistent(&self) -> bool {
+        let mut rebuilt = ChainIndex::default();
+        for hash in &self.canonical {
+            let block = match self.store.get(hash) {
+                Some(b) => b,
+                None => return false,
+            };
+            rebuilt.absorb(&block);
+        }
+        rebuilt == self.index
     }
 
     /// Iterate canonical block hashes from genesis to tip.
@@ -726,6 +989,60 @@ mod tests {
         assert!(c.txs_by_author(&AccountId::from_name("a")).is_empty());
         assert!(c.is_canonical(&b1h));
         assert!(!c.is_canonical(&a1));
+        assert!(c.index_consistent());
+    }
+
+    #[test]
+    fn reorg_back_and_forth_keeps_indexes_incremental() {
+        let mut c = chain();
+        // Canonical: g → a1 → a2.
+        let _a1 = seal(&mut c, vec![tx("a", 0)]);
+        let a2 = seal(&mut c, vec![tx("a", 1)]);
+        // Rival branch g → b1 → b2 → b3 wins.
+        let mut parent = c.genesis();
+        let mut last = parent;
+        for i in 0..3 {
+            let b = Block::assemble(
+                i + 1,
+                parent,
+                700 + i,
+                AccountId::from_name("rival"),
+                0,
+                vec![tx("r", i)],
+            );
+            last = b.hash();
+            c.append(b).unwrap();
+            parent = last;
+        }
+        assert_eq!(c.tip(), last);
+        assert!(c.index_consistent());
+        assert!(c.txs_by_author(&AccountId::from_name("a")).is_empty());
+        // Original branch strikes back: a3, a4 on top of a2.
+        let a3 = Block::assemble(
+            3,
+            a2,
+            900,
+            AccountId::from_name("s"),
+            0,
+            vec![tx("a", 2)],
+        );
+        let a3h = a3.hash();
+        c.append(a3).unwrap();
+        let a4 = Block::assemble(
+            4,
+            a3h,
+            950,
+            AccountId::from_name("s"),
+            0,
+            vec![tx("a", 3)],
+        );
+        let out = c.append(a4).unwrap();
+        assert!(out.reorged);
+        assert_eq!(c.height(), 4);
+        assert!(c.index_consistent());
+        assert_eq!(c.txs_by_author(&AccountId::from_name("a")).len(), 4);
+        assert_eq!(c.next_nonce(&AccountId::from_name("a")), 4);
+        assert!(c.txs_by_author(&AccountId::from_name("r")).is_empty());
     }
 
     #[test]
@@ -768,5 +1085,152 @@ mod tests {
         }
         c.append(b).unwrap();
         assert!(c.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn finality_advances_and_prunes_fork_metadata() {
+        let mut c = Chain::new(ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        });
+        // A fork block at height 1 that will fall below the checkpoint.
+        let fork = Block::assemble(
+            1,
+            c.genesis(),
+            100,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("r", 0)],
+        );
+        let fork_hash = fork.hash();
+        // Canonical chain outruns it.
+        seal(&mut c, vec![tx("a", 0)]);
+        c.append(fork).unwrap();
+        assert!(c.meta.contains_key(&fork_hash));
+        for i in 1..6 {
+            seal(&mut c, vec![tx("a", i)]);
+        }
+        assert_eq!(c.height(), 6);
+        assert_eq!(c.finalized_height(), 4);
+        let cp = c.checkpoint().unwrap();
+        assert_eq!(cp.height, 4);
+        assert_eq!(cp.hash, *c.canonical_hashes().nth(4).unwrap());
+        // Stale fork metadata at height 1 is pruned; the block body may
+        // remain in cold storage but fork choice no longer tracks it.
+        assert!(!c.meta.contains_key(&fork_hash));
+        // Undo records survive only for the non-finalized window.
+        assert_eq!(c.undo.len() as u64, c.height() - c.finalized_height());
+        assert!(c.index_consistent());
+    }
+
+    #[test]
+    fn finality_rejects_blocks_below_checkpoint() {
+        let mut c = Chain::new(ChainConfig {
+            finality_depth: Some(1),
+            ..ChainConfig::default()
+        });
+        for i in 0..4 {
+            seal(&mut c, vec![tx("a", i)]);
+        }
+        assert_eq!(c.finalized_height(), 3);
+        // A would-be fork off a finalized block is refused.
+        let fork = Block::assemble(
+            2,
+            *c.canonical_hashes().nth(1).unwrap(),
+            100,
+            AccountId::from_name("rival"),
+            0,
+            vec![],
+        );
+        assert!(matches!(
+            c.append(fork),
+            Err(ValidationError::BelowFinality { .. })
+        ));
+    }
+
+    #[test]
+    fn finality_cascade_prunes_orphaned_fork_descendants() {
+        let mut c = Chain::new(ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        });
+        // Fork of two blocks off genesis.
+        let f1 = Block::assemble(
+            1,
+            c.genesis(),
+            100,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("r", 0)],
+        );
+        let f1h = f1.hash();
+        let f2 = Block::assemble(2, f1h, 150, AccountId::from_name("rival"), 0, vec![tx("r", 1)]);
+        let f2h = f2.hash();
+        // Keep canonical level with the fork (ties keep the existing tip),
+        // and append the fork before finality passes its heights.
+        seal(&mut c, vec![tx("a", 0)]);
+        seal(&mut c, vec![tx("a", 1)]);
+        c.append(f1).unwrap();
+        c.append(f2).unwrap();
+        assert!(c.meta.contains_key(&f1h) && c.meta.contains_key(&f2h));
+        seal(&mut c, vec![tx("a", 2)]);
+        // Outrun the fork until height 1 finalizes; f2 (height 2, above the
+        // checkpoint) must be cascade-pruned with its parent.
+        for i in 3..6 {
+            seal(&mut c, vec![tx("a", i)]);
+        }
+        assert!(c.finalized_height() >= 2);
+        assert!(!c.meta.contains_key(&f1h), "fork block pruned at finality");
+        assert!(!c.meta.contains_key(&f2h), "orphaned descendant pruned too");
+        // Extending the pruned branch now fails with UnknownParent.
+        let f3 = Block::assemble(3, f2h, 200, AccountId::from_name("rival"), 0, vec![]);
+        assert!(matches!(
+            c.append(f3),
+            Err(ValidationError::UnknownParent(_))
+        ));
+        assert!(c.index_consistent());
+    }
+
+    #[test]
+    fn replay_reconstructs_chain_from_store_scan() {
+        // Build a chain with a fork and a reorg over a MemStore, then replay
+        // an identical history into a fresh chain and compare.
+        let mut c = chain();
+        let t0 = tx("alice", 0);
+        let id0 = t0.id();
+        seal(&mut c, vec![t0]);
+        let b1 = Block::assemble(
+            1,
+            c.genesis(),
+            500,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("r", 0)],
+        );
+        let b1h = b1.hash();
+        c.append(b1).unwrap();
+        let b2 = Block::assemble(2, b1h, 600, AccountId::from_name("rival"), 0, vec![tx("r", 1)]);
+        c.append(b2).unwrap();
+
+        // Replay from a store holding the same blocks.
+        let mut store = MemStore::new();
+        let mut blocks = Vec::new();
+        c.store.scan(&mut |b| blocks.push(b)).unwrap();
+        for b in &blocks {
+            store.put((**b).clone()).unwrap();
+        }
+        let replayed = Chain::replay(Box::new(store), ChainConfig::default()).unwrap();
+        assert_eq!(replayed.tip(), c.tip());
+        assert_eq!(replayed.height(), c.height());
+        assert_eq!(
+            replayed.canonical_hashes().collect::<Vec<_>>(),
+            c.canonical_hashes().collect::<Vec<_>>()
+        );
+        assert!(replayed.index_consistent());
+        assert_eq!(replayed.get_tx(&id0), None, "losing-branch tx not canonical");
+        assert_eq!(
+            replayed.txs_by_author(&AccountId::from_name("r")).len(),
+            2
+        );
     }
 }

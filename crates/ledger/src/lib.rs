@@ -13,13 +13,17 @@
 //! Fabric-based systems ride on endorsed key/value writes.
 
 pub mod block;
+pub mod cache;
 pub mod chain;
 pub mod mempool;
+pub mod segment;
 pub mod store;
 pub mod tx;
 
-pub use block::{Block, BlockHash, BlockHeader};
+pub use block::{Block, BlockHash, BlockHeader, Checkpoint};
+pub use cache::LruCache;
 pub use chain::{Chain, ChainConfig, SignaturePolicy, ValidationError};
 pub use mempool::Mempool;
+pub use segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
 pub use store::{BlockStore, FileStore, MemStore};
 pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

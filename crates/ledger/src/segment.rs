@@ -1,0 +1,682 @@
+//! Tiered block storage: fixed-size append segments under an LRU hot set.
+//!
+//! The paper's storage-overhead experiments (E3) assume provenance history
+//! far larger than RAM. [`SegmentStore`] is the cold tier: blocks are framed
+//! into fixed-capacity append-only segment files (`seg-00000.blk`, …), each
+//! carrying a [`blockprov_wire::frame::SegmentHeader`] and indexed by an
+//! in-memory per-segment offset table. Reads go through one persistent
+//! reader handle instead of reopening a file per miss, and batched appends
+//! (`put_batch`) issue a single flush for the whole batch.
+//!
+//! [`TieredStore`] stacks a real LRU cache of decoded blocks (the hot set)
+//! on top, giving bounded resident memory over unbounded history: every
+//! block is durable in the cold tier the moment `put` returns, and the hot
+//! set never exceeds its configured capacity.
+
+use crate::block::{Block, BlockHash};
+use crate::cache::LruCache;
+use crate::store::BlockStore;
+use blockprov_wire::frame::{
+    frame_len, read_frame_from, write_frame_to, SegmentHeader, FRAME_OVERHEAD,
+};
+use blockprov_wire::Codec;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where a block's frame lives in the segment sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// Segment id (index into the segment sequence).
+    pub segment: u32,
+    /// Byte offset of the payload inside the segment file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// Tuning for the cold tier.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Target segment capacity in bytes; a segment rolls over once its next
+    /// frame would push it past this size (a single oversized block still
+    /// fits — segments are a rollover hint, not a hard frame limit).
+    pub segment_bytes: u64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+fn segment_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("seg-{id:05}.blk"))
+}
+
+/// The cold tier: append-only fixed-size segments with per-segment offset
+/// indexes and a persistent reader handle.
+pub struct SegmentStore {
+    dir: PathBuf,
+    config: SegmentConfig,
+    /// Global index: block hash → location. Per-segment tables would also
+    /// work but a single map keeps lookup one probe; the *offsets* are still
+    /// strictly per-segment, so dropping a sealed segment's entries (future
+    /// archive/compaction) is a retain over `location.segment`.
+    index: HashMap<BlockHash, BlockLocation>,
+    /// Open append handle for the active (last) segment.
+    writer: BufWriter<File>,
+    /// Id of the active segment.
+    active: u32,
+    /// Bytes already written to the active segment (header included).
+    active_len: u64,
+    /// Persistent reader handle, lazily switched between segments. Interior
+    /// mutability because `BlockStore::get` takes `&self`.
+    reader: RefCell<Option<(u32, File)>>,
+    /// Total bytes across all segment files (headers + frames).
+    bytes: u64,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("blocks", &self.index.len())
+            .field("segments", &(self.active + 1))
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentStore {
+    /// Open (or create) a segment store in directory `dir`, scanning any
+    /// existing segments to rebuild the offset index.
+    ///
+    /// Any malformed byte — a corrupt header, an undecodable block, a torn
+    /// trailing frame — fails the open loudly rather than being silently
+    /// truncated, matching [`crate::store::FileStore`]'s contract: without
+    /// per-frame checksums a torn tail write is indistinguishable from
+    /// tampering, and this is first a tamper-evidence substrate.
+    pub fn open<P: AsRef<Path>>(dir: P, config: SegmentConfig) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Discover segments from the directory listing (not by probing
+        // until the first missing id): a gap in the sequence means lost
+        // data and must fail loudly, not silently drop — and eventually
+        // overwrite — the segments after the gap.
+        let mut ids: Vec<u32> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".blk"))
+            {
+                let id = num.parse::<u32>().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unparseable segment file name {name:?}"),
+                    )
+                })?;
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        if let Some(&max) = ids.last() {
+            if ids.len() as u64 != u64::from(max) + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "segment sequence has gaps: found {} files up to seg-{max:05}",
+                        ids.len()
+                    ),
+                ));
+            }
+        }
+        let mut index = HashMap::new();
+        let mut bytes = 0u64;
+        let mut active = 0u32;
+        let mut active_len = 0u64;
+        for &id in &ids {
+            let len = Self::scan_segment(&segment_path(&dir, id), id, &mut index)?;
+            bytes += len;
+            active = id;
+            active_len = len;
+        }
+        if ids.is_empty() {
+            // Fresh store: create segment 0 with its header.
+            let mut file = File::create(segment_path(&dir, 0))?;
+            let header = SegmentHeader::new(0).to_wire();
+            file.write_all(&header)?;
+            file.flush()?;
+            active_len = header.len() as u64;
+            bytes = active_len;
+        }
+        let writer = BufWriter::new(
+            OpenOptions::new()
+                .append(true)
+                .open(segment_path(&dir, active))?,
+        );
+        Ok(Self {
+            dir,
+            config,
+            index,
+            writer,
+            active,
+            active_len,
+            reader: RefCell::new(None),
+            bytes,
+        })
+    }
+
+    /// Validate one segment file and merge its frames into `index`.
+    /// Returns the segment's byte length.
+    fn scan_segment(
+        path: &Path,
+        expect_id: u32,
+        index: &mut HashMap<BlockHash, BlockLocation>,
+    ) -> io::Result<u64> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut header_bytes = [0u8; SegmentHeader::ENCODED_LEN];
+        reader.read_exact(&mut header_bytes).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("segment {expect_id}: truncated header"),
+            )
+        })?;
+        let header = SegmentHeader::from_wire(&header_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if header.segment_id != expect_id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment file order mismatch: file says {}, sequence says {expect_id}",
+                    header.segment_id
+                ),
+            ));
+        }
+        let mut pos = SegmentHeader::ENCODED_LEN as u64;
+        while let Some(body) = read_frame_from(&mut reader)? {
+            let block = Block::from_wire(&body).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt block in segment {expect_id} at {pos}: {e}"),
+                )
+            })?;
+            index.insert(
+                block.hash(),
+                BlockLocation {
+                    segment: expect_id,
+                    offset: pos + FRAME_OVERHEAD,
+                    len: body.len() as u32,
+                },
+            );
+            pos += frame_len(body.len());
+        }
+        Ok(pos)
+    }
+
+    /// Roll the writer over to a fresh segment.
+    fn roll_segment(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.active += 1;
+        let mut file = File::create(segment_path(&self.dir, self.active))?;
+        let header = SegmentHeader::new(self.active).to_wire();
+        file.write_all(&header)?;
+        self.writer = BufWriter::new(file);
+        self.active_len = header.len() as u64;
+        self.bytes += header.len() as u64;
+        Ok(())
+    }
+
+    /// Append one encoded block without flushing; returns its location.
+    fn append_frame(&mut self, body: &[u8]) -> io::Result<BlockLocation> {
+        if self.active_len + frame_len(body.len()) > self.config.segment_bytes
+            && self.active_len > SegmentHeader::ENCODED_LEN as u64
+        {
+            self.roll_segment()?;
+        }
+        let loc = BlockLocation {
+            segment: self.active,
+            offset: self.active_len + FRAME_OVERHEAD,
+            len: body.len() as u32,
+        };
+        write_frame_to(&mut self.writer, body)?;
+        self.active_len += frame_len(body.len());
+        self.bytes += frame_len(body.len());
+        Ok(loc)
+    }
+
+    /// Read a block at `loc` through the persistent reader handle.
+    fn read_at(&self, loc: BlockLocation) -> io::Result<Block> {
+        let mut slot = self.reader.borrow_mut();
+        // Reuse the open handle unless the location is in another segment.
+        // Reads of the active segment see fully-flushed frames only because
+        // `put`/`put_batch` flush before returning.
+        if slot.as_ref().map(|(id, _)| *id) != Some(loc.segment) {
+            *slot = Some((
+                loc.segment,
+                File::open(segment_path(&self.dir, loc.segment))?,
+            ));
+        }
+        let (_, file) = slot.as_mut().expect("reader just installed");
+        file.seek(SeekFrom::Start(loc.offset))?;
+        let mut body = vec![0u8; loc.len as usize];
+        file.read_exact(&mut body)?;
+        Block::from_wire(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Number of segment files (active one included).
+    pub fn segment_count(&self) -> u32 {
+        self.active + 1
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl BlockStore for SegmentStore {
+    fn put(&mut self, block: Block) -> io::Result<Arc<Block>> {
+        let hash = block.hash();
+        if self.index.contains_key(&hash) {
+            return Ok(Arc::new(block));
+        }
+        let body = block.to_wire();
+        let loc = self.append_frame(&body)?;
+        self.writer.flush()?;
+        self.index.insert(hash, loc);
+        Ok(Arc::new(block))
+    }
+
+    fn put_batch(&mut self, blocks: Vec<Block>) -> io::Result<Vec<Arc<Block>>> {
+        let mut out = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            let hash = block.hash();
+            // Index eagerly so duplicates *within* the batch dedupe too;
+            // an error aborts the whole store anyway (callers reopen).
+            if !self.index.contains_key(&hash) {
+                let body = block.to_wire();
+                let loc = self.append_frame(&body)?;
+                self.index.insert(hash, loc);
+            }
+            out.push(Arc::new(block));
+        }
+        // One flush for the whole batch — the write-amplification win over
+        // per-block `put`.
+        self.writer.flush()?;
+        Ok(out)
+    }
+
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        let loc = *self.index.get(hash)?;
+        self.read_at(loc).ok().map(Arc::new)
+    }
+
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.index.contains_key(hash)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn resident_blocks(&self) -> usize {
+        0 // cold tier holds no decoded blocks in memory
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
+        for id in 0..=self.active {
+            let path = segment_path(&self.dir, id);
+            let mut reader = BufReader::new(File::open(&path)?);
+            let mut header = [0u8; SegmentHeader::ENCODED_LEN];
+            reader.read_exact(&mut header)?;
+            while let Some(body) = read_frame_from(&mut reader)? {
+                let block = Block::from_wire(&body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                visit(Arc::new(block));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tuning for [`TieredStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct TieredConfig {
+    /// Cold-tier segment capacity.
+    pub segment: SegmentConfig,
+    /// Maximum decoded blocks held in the hot LRU set.
+    pub hot_capacity: usize,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        Self {
+            segment: SegmentConfig::default(),
+            hot_capacity: 1024,
+        }
+    }
+}
+
+/// Hot/cold tiered store: an LRU set of decoded blocks over a
+/// [`SegmentStore`].
+///
+/// Writes go through to the cold tier before the block enters the hot set,
+/// so eviction never loses data; reads promote cold blocks back into the hot
+/// set. Resident memory is bounded by `hot_capacity` regardless of history
+/// length.
+pub struct TieredStore {
+    cold: SegmentStore,
+    hot: RefCell<LruCache<BlockHash, Arc<Block>>>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl std::fmt::Debug for TieredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("cold", &self.cold)
+            .field("hot_blocks", &self.hot.borrow().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TieredStore {
+    /// Open (or create) a tiered store rooted at `dir`.
+    pub fn open<P: AsRef<Path>>(dir: P, config: TieredConfig) -> io::Result<Self> {
+        Ok(Self {
+            cold: SegmentStore::open(dir, config.segment)?,
+            hot: RefCell::new(LruCache::new(config.hot_capacity)),
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        })
+    }
+
+    /// `(hot hits, cold misses)` counters for cache-efficiency experiments.
+    pub fn tier_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// The cold tier (segment layout inspection).
+    pub fn cold(&self) -> &SegmentStore {
+        &self.cold
+    }
+}
+
+impl BlockStore for TieredStore {
+    fn put(&mut self, block: Block) -> io::Result<Arc<Block>> {
+        let hash = block.hash();
+        let arc = self.cold.put(block)?;
+        self.hot.borrow_mut().insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn put_batch(&mut self, blocks: Vec<Block>) -> io::Result<Vec<Arc<Block>>> {
+        let arcs = self.cold.put_batch(blocks)?;
+        let mut hot = self.hot.borrow_mut();
+        for arc in &arcs {
+            hot.insert(arc.hash(), Arc::clone(arc));
+        }
+        Ok(arcs)
+    }
+
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        if let Some(hit) = self.hot.borrow_mut().get(hash) {
+            self.hits.set(self.hits.get() + 1);
+            return Some(Arc::clone(hit));
+        }
+        let block = self.cold.get(hash)?;
+        self.misses.set(self.misses.get() + 1);
+        self.hot.borrow_mut().insert(*hash, Arc::clone(&block));
+        Some(block)
+    }
+
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.cold.contains(hash)
+    }
+
+    fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.cold.stored_bytes()
+    }
+
+    fn resident_blocks(&self) -> usize {
+        self.hot.borrow().len()
+    }
+
+    fn demote(&mut self, hash: &BlockHash) {
+        // Safe to drop from the hot set: the block became durable in the
+        // cold tier before `put` returned.
+        self.hot.borrow_mut().remove(hash);
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
+        self.cold.scan(visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{AccountId, Transaction};
+
+    fn block(i: u64, parent: BlockHash) -> Block {
+        Block::assemble(
+            i,
+            parent,
+            1000 * i,
+            AccountId::from_name("p"),
+            0,
+            vec![Transaction::new(
+                AccountId::from_name("a"),
+                i,
+                i,
+                1,
+                vec![i as u8; 64],
+            )],
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "blockprov-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn chain_blocks(n: u64) -> Vec<Block> {
+        let mut out = Vec::new();
+        let mut parent = BlockHash::ZERO;
+        for i in 0..n {
+            let b = block(i, parent);
+            parent = b.hash();
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn segment_store_round_trip_and_reopen() {
+        let dir = temp_dir("rt");
+        let blocks = chain_blocks(10);
+        {
+            let mut s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+            for b in &blocks {
+                s.put(b.clone()).unwrap();
+            }
+            assert_eq!(s.len(), 10);
+            assert!(s.segment_count() > 1, "small capacity must roll segments");
+            for b in &blocks {
+                assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+            }
+        }
+        // Reopen: index rebuilt by scanning segment files.
+        let s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+        assert_eq!(s.len(), 10);
+        for b in &blocks {
+            assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_batch_matches_individual_puts() {
+        let dir_a = temp_dir("batch-a");
+        let dir_b = temp_dir("batch-b");
+        let blocks = chain_blocks(20);
+        let mut a = SegmentStore::open(&dir_a, SegmentConfig { segment_bytes: 1024 }).unwrap();
+        let mut b = SegmentStore::open(&dir_b, SegmentConfig { segment_bytes: 1024 }).unwrap();
+        for blk in &blocks {
+            a.put(blk.clone()).unwrap();
+        }
+        b.put_batch(blocks.clone()).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.stored_bytes(), b.stored_bytes());
+        for blk in &blocks {
+            assert_eq!(b.get(&blk.hash()).as_deref(), Some(blk));
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn scan_yields_blocks_in_append_order() {
+        let dir = temp_dir("scan");
+        let blocks = chain_blocks(12);
+        let mut s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 600 }).unwrap();
+        s.put_batch(blocks.clone()).unwrap();
+        let mut seen = Vec::new();
+        s.scan(&mut |b| seen.push(b.hash())).unwrap();
+        let expect: Vec<BlockHash> = blocks.iter().map(Block::hash).collect();
+        assert_eq!(seen, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_put_is_idempotent() {
+        let dir = temp_dir("dup");
+        let mut s = SegmentStore::open(&dir, SegmentConfig::default()).unwrap();
+        let b = chain_blocks(1).pop().unwrap();
+        s.put(b.clone()).unwrap();
+        let bytes = s.stored_bytes();
+        s.put(b).unwrap();
+        assert_eq!(s.stored_bytes(), bytes);
+        assert_eq!(s.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_store_bounds_residency_and_serves_cold_reads() {
+        let dir = temp_dir("tiered");
+        let blocks = chain_blocks(64);
+        let mut s = TieredStore::open(
+            &dir,
+            TieredConfig {
+                segment: SegmentConfig { segment_bytes: 2048 },
+                hot_capacity: 8,
+            },
+        )
+        .unwrap();
+        for b in &blocks {
+            s.put(b.clone()).unwrap();
+            assert!(s.resident_blocks() <= 8, "hot set must stay bounded");
+        }
+        assert_eq!(s.len(), 64);
+        // Every block — hot or long-evicted — is still readable.
+        for b in &blocks {
+            assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+        }
+        let (hits, misses) = s.tier_stats();
+        assert!(misses > 0, "old blocks must come from the cold tier");
+        assert!(hits + misses >= 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_demote_evicts_from_hot_only() {
+        let dir = temp_dir("demote");
+        let blocks = chain_blocks(4);
+        let mut s = TieredStore::open(&dir, TieredConfig::default()).unwrap();
+        for b in &blocks {
+            s.put(b.clone()).unwrap();
+        }
+        assert_eq!(s.resident_blocks(), 4);
+        let h = blocks[0].hash();
+        s.demote(&h);
+        assert_eq!(s.resident_blocks(), 3);
+        // Still durable and readable from cold.
+        assert_eq!(*s.get(&h).unwrap(), blocks[0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gapped_segment_sequence_rejected_on_reopen() {
+        let dir = temp_dir("gap");
+        {
+            let mut s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+            s.put_batch(chain_blocks(10)).unwrap();
+            assert!(s.segment_count() >= 3, "need several segments");
+        }
+        // Losing a middle segment must fail the open loudly — silently
+        // indexing only the prefix would eventually overwrite the orphans.
+        std::fs::remove_file(segment_path(&dir, 1)).unwrap();
+        let err = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap_err();
+        assert!(err.to_string().contains("gap"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_batch_dedupes_within_one_batch() {
+        let dir = temp_dir("batch-dup");
+        let mut s = SegmentStore::open(&dir, SegmentConfig::default()).unwrap();
+        let b = chain_blocks(1).pop().unwrap();
+        s.put_batch(vec![b.clone(), b.clone()]).unwrap();
+        let bytes = s.stored_bytes();
+        assert_eq!(s.len(), 1);
+        // Same as storing it exactly once.
+        let dir2 = temp_dir("batch-dup-ref");
+        let mut reference = SegmentStore::open(&dir2, SegmentConfig::default()).unwrap();
+        reference.put(b).unwrap();
+        assert_eq!(bytes, reference.stored_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_rejected_on_reopen() {
+        let dir = temp_dir("corrupt");
+        {
+            let mut s = SegmentStore::open(&dir, SegmentConfig::default()).unwrap();
+            s.put(chain_blocks(1).pop().unwrap()).unwrap();
+        }
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(segment_path(&dir, 0))
+                .unwrap();
+            f.write_all(&[0xFF, 0xFF, 0x00, 0x00]).unwrap();
+            f.write_all(&[0xAB; 16]).unwrap();
+        }
+        assert!(SegmentStore::open(&dir, SegmentConfig::default()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,7 +1,11 @@
-//! Pluggable block storage: in-memory and append-only file-backed.
+//! Pluggable block storage: in-memory, append-only file-backed, and (in
+//! [`crate::segment`]) tiered segment storage with a bounded hot set.
 
 use crate::block::{Block, BlockHash};
+use crate::cache::LruCache;
+use blockprov_wire::frame::{frame_len, read_frame_from, write_frame_to, FRAME_OVERHEAD};
 use blockprov_wire::Codec;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -12,9 +16,21 @@ use std::sync::Arc;
 ///
 /// Returned blocks are `Arc`-shared so query layers can hold references
 /// without cloning transaction payloads.
+///
+/// Durable implementations distinguish *stored* blocks (everything ever
+/// appended, `len`) from *resident* blocks (decoded copies currently held in
+/// memory, `resident_blocks`) — the tiered store keeps the latter bounded by
+/// its hot-set capacity while the former grows without limit.
 pub trait BlockStore: Send {
     /// Persist a block.
     fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>>;
+
+    /// Persist a batch of blocks. Durable implementations override this to
+    /// issue a single flush for the whole batch.
+    fn put_batch(&mut self, blocks: Vec<Block>) -> std::io::Result<Vec<Arc<Block>>> {
+        blocks.into_iter().map(|b| self.put(b)).collect()
+    }
+
     /// Fetch a block by hash.
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>>;
     /// Whether a block exists.
@@ -27,12 +43,33 @@ pub trait BlockStore: Send {
     }
     /// Total payload bytes stored (storage-overhead experiments, E3).
     fn stored_bytes(&self) -> u64;
+
+    /// Decoded blocks currently held in memory. Defaults to `len()`: a
+    /// purely in-memory store keeps everything resident.
+    fn resident_blocks(&self) -> usize {
+        self.len()
+    }
+
+    /// Hint that `hash` no longer needs to be hot (e.g. the chain finalized
+    /// it). Stores with a memory tier evict the decoded copy; stores where
+    /// memory *is* the only tier ignore the hint — dropping the block would
+    /// lose it.
+    fn demote(&mut self, _hash: &BlockHash) {}
+
+    /// Visit every stored block, parents before children.
+    ///
+    /// Durable stores stream from disk in append order (a block is only ever
+    /// appended after its parent); `MemStore` sorts by height. Used by
+    /// chain replay after restart.
+    fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> std::io::Result<()>;
 }
 
 /// Volatile in-memory store.
 #[derive(Debug, Default)]
 pub struct MemStore {
-    blocks: HashMap<BlockHash, Arc<Block>>,
+    /// Block plus its insertion sequence number (scan order).
+    blocks: HashMap<BlockHash, (Arc<Block>, u64)>,
+    next_seq: u64,
     bytes: u64,
 }
 
@@ -46,14 +83,17 @@ impl MemStore {
 impl BlockStore for MemStore {
     fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
         let hash = block.hash();
-        let arc = Arc::new(block);
-        if self.blocks.insert(hash, Arc::clone(&arc)).is_none() {
-            self.bytes += arc.encoded_len() as u64;
+        if let Some((existing, _)) = self.blocks.get(&hash) {
+            return Ok(Arc::clone(existing));
         }
+        let arc = Arc::new(block);
+        self.blocks.insert(hash, (Arc::clone(&arc), self.next_seq));
+        self.next_seq += 1;
+        self.bytes += arc.encoded_len() as u64;
         Ok(arc)
     }
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        self.blocks.get(hash).cloned()
+        self.blocks.get(hash).map(|(b, _)| Arc::clone(b))
     }
     fn contains(&self, hash: &BlockHash) -> bool {
         self.blocks.contains_key(hash)
@@ -64,104 +104,131 @@ impl BlockStore for MemStore {
     fn stored_bytes(&self) -> u64 {
         self.bytes
     }
+    fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> std::io::Result<()> {
+        // Insertion order, exactly like the durable stores' append order:
+        // parents were validated before children, and replay tie-breaking
+        // (equal-work forks at one height) stays deterministic.
+        let mut blocks: Vec<&(Arc<Block>, u64)> = self.blocks.values().collect();
+        blocks.sort_by_key(|(_, seq)| *seq);
+        for (b, _) in blocks {
+            visit(Arc::clone(b));
+        }
+        Ok(())
+    }
 }
 
-/// Append-only file store: `[u32 le length][block bytes]*` with an in-memory
-/// offset index rebuilt on open.
+/// Default hot-cache capacity for [`FileStore`].
+const FILE_STORE_CACHE: usize = 256;
+
+/// Append-only file store: framed blocks (`[u32 le length][block bytes]*`,
+/// see [`blockprov_wire::frame`]) with an in-memory offset index rebuilt on
+/// open.
 ///
-/// This is the durable backend used by the storage-overhead experiments; it
-/// keeps recently fetched blocks in a small cache because provenance queries
-/// revisit hot blocks.
+/// This is the single-file durable backend used by the storage-overhead
+/// experiments; it keeps recently touched blocks in a shared-LRU cache
+/// because provenance queries revisit hot blocks, and reads go through one
+/// persistent reader handle instead of reopening the file per miss.
 pub struct FileStore {
     file: BufWriter<File>,
     path: std::path::PathBuf,
     offsets: HashMap<BlockHash, (u64, u32)>,
-    cache: HashMap<BlockHash, Arc<Block>>,
-    cache_cap: usize,
+    cache: RefCell<LruCache<BlockHash, Arc<Block>>>,
+    reader: RefCell<File>,
     end: u64,
 }
 
 impl FileStore {
     /// Open (or create) a store at `path`, scanning existing contents.
     pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
+        let path = path.as_ref();
         let file = OpenOptions::new()
             .create(true)
             .read(true)
             .append(true)
-            .open(&path)?;
+            .open(path)?;
         let mut offsets = HashMap::new();
-        let mut reader = BufReader::new(File::open(&path)?);
+        let mut reader = BufReader::new(File::open(path)?);
         let mut pos = 0u64;
-        loop {
-            let mut len_buf = [0u8; 4];
-            match reader.read_exact(&mut len_buf) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
-            }
-            let len = u32::from_le_bytes(len_buf);
-            let mut body = vec![0u8; len as usize];
-            reader.read_exact(&mut body)?;
+        while let Some(body) = read_frame_from(&mut reader)? {
             let block = Block::from_wire(&body).map_err(|e| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("corrupt block at {pos}: {e}"),
                 )
             })?;
-            offsets.insert(block.hash(), (pos + 4, len));
-            pos += 4 + len as u64;
+            offsets.insert(block.hash(), (pos + FRAME_OVERHEAD, body.len() as u32));
+            pos += frame_len(body.len());
         }
         Ok(Self {
             file: BufWriter::new(file),
-            path,
+            path: path.to_path_buf(),
             offsets,
-            cache: HashMap::new(),
-            cache_cap: 256,
+            cache: RefCell::new(LruCache::new(FILE_STORE_CACHE)),
+            reader: RefCell::new(File::open(path)?),
             end: pos,
         })
     }
 
     fn read_at(&self, offset: u64, len: u32) -> std::io::Result<Block> {
-        let mut f = File::open(&self.path)?;
+        // Persistent handle: seek is cheap, reopening the file per miss was
+        // not. Reads only ever target flushed frames (`put` flushes before
+        // indexing), so the append handle's buffered tail is never visible.
+        let mut f = self.reader.borrow_mut();
         f.seek(SeekFrom::Start(offset))?;
         let mut body = vec![0u8; len as usize];
         f.read_exact(&mut body)?;
         Block::from_wire(&body)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
+
+    /// Append one block without flushing.
+    fn append_frame(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
+        let hash = block.hash();
+        let body = block.to_wire();
+        write_frame_to(&mut self.file, &body)?;
+        self.offsets
+            .insert(hash, (self.end + FRAME_OVERHEAD, body.len() as u32));
+        self.end += frame_len(body.len());
+        let arc = Arc::new(block);
+        self.cache.borrow_mut().insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
 }
 
 impl BlockStore for FileStore {
     fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
-        let hash = block.hash();
-        if let Some(existing) = self.get(&hash) {
+        if let Some(existing) = self.get(&block.hash()) {
             return Ok(existing);
         }
-        let body = block.to_wire();
-        let len = body.len() as u32;
-        self.file.write_all(&len.to_le_bytes())?;
-        self.file.write_all(&body)?;
+        let arc = self.append_frame(block)?;
         self.file.flush()?;
-        self.offsets.insert(hash, (self.end + 4, len));
-        self.end += 4 + body.len() as u64;
-        let arc = Arc::new(block);
-        if self.cache.len() >= self.cache_cap {
-            // Cheap eviction: drop an arbitrary entry (hot set is small).
-            if let Some(&k) = self.cache.keys().next() {
-                self.cache.remove(&k);
-            }
-        }
-        self.cache.insert(hash, Arc::clone(&arc));
         Ok(arc)
     }
 
+    fn put_batch(&mut self, blocks: Vec<Block>) -> std::io::Result<Vec<Arc<Block>>> {
+        let mut out = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            // Dedupe against the offset index, not `get`: a frame staged
+            // earlier in this batch is not flushed yet, so a disk read for
+            // it (after cache eviction) would hit EOF and re-append it.
+            if self.offsets.contains_key(&block.hash()) {
+                out.push(Arc::new(block));
+            } else {
+                out.push(self.append_frame(block)?);
+            }
+        }
+        self.file.flush()?;
+        Ok(out)
+    }
+
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        if let Some(hit) = self.cache.get(hash) {
+        if let Some(hit) = self.cache.borrow_mut().get(hash) {
             return Some(Arc::clone(hit));
         }
         let &(offset, len) = self.offsets.get(hash)?;
-        self.read_at(offset, len).ok().map(Arc::new)
+        let block = self.read_at(offset, len).ok().map(Arc::new)?;
+        self.cache.borrow_mut().insert(*hash, Arc::clone(&block));
+        Some(block)
     }
 
     fn contains(&self, hash: &BlockHash) -> bool {
@@ -174,6 +241,27 @@ impl BlockStore for FileStore {
 
     fn stored_bytes(&self) -> u64 {
         self.end
+    }
+
+    fn resident_blocks(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn demote(&mut self, hash: &BlockHash) {
+        self.cache.borrow_mut().remove(hash);
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> std::io::Result<()> {
+        // Fresh handle: holding the shared reader's borrow across `visit`
+        // would panic if the visitor calls `get` on this store.
+        let mut buffered = BufReader::new(File::open(&self.path)?);
+        while let Some(body) = read_frame_from(&mut buffered)? {
+            let block = Block::from_wire(&body).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?;
+            visit(Arc::new(block));
+        }
+        Ok(())
     }
 }
 
@@ -199,6 +287,14 @@ mod tests {
         )
     }
 
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("blockprov-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.log"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn mem_store_round_trip() {
         let mut s = MemStore::new();
@@ -216,12 +312,25 @@ mod tests {
     }
 
     #[test]
-    fn file_store_round_trip_and_reopen() {
-        let dir = std::env::temp_dir().join(format!("blockprov-store-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("chain.log");
-        let _ = std::fs::remove_file(&path);
+    fn mem_store_scan_follows_insertion_order() {
+        let mut s = MemStore::new();
+        for i in [0u64, 1, 2, 3] {
+            s.put(block(i)).unwrap();
+        }
+        let mut heights = Vec::new();
+        s.scan(&mut |b| heights.push(b.header.height)).unwrap();
+        assert_eq!(heights, vec![0, 1, 2, 3]);
+        // Re-putting an existing block must not move it in scan order
+        // (replay tie-breaking depends on first-insertion order).
+        s.put(block(0)).unwrap();
+        let mut again = Vec::new();
+        s.scan(&mut |b| again.push(b.header.height)).unwrap();
+        assert_eq!(again, vec![0, 1, 2, 3]);
+    }
 
+    #[test]
+    fn file_store_round_trip_and_reopen() {
+        let path = temp_file("chain");
         let blocks: Vec<Block> = (0..5).map(block).collect();
         {
             let mut s = FileStore::open(&path).unwrap();
@@ -244,13 +353,79 @@ mod tests {
 
     #[test]
     fn file_store_missing_block() {
-        let dir = std::env::temp_dir().join(format!("blockprov-store-miss-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("chain.log");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_file("miss");
         let s = FileStore::open(&path).unwrap();
         assert!(s.get(&block(9).hash()).is_none());
         assert!(s.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_cache_is_lru_not_arbitrary() {
+        let path = temp_file("lru");
+        let mut s = FileStore::open(&path).unwrap();
+        // Overflow the cache, touching block 0 constantly: a real LRU keeps
+        // it resident; arbitrary eviction would eventually drop it.
+        let b0 = block(0);
+        let h0 = b0.hash();
+        s.put(b0).unwrap();
+        for i in 1..(FILE_STORE_CACHE as u64 + 64) {
+            s.put(block(i)).unwrap();
+            assert!(s.get(&h0).is_some());
+            assert!(
+                s.cache.borrow().contains(&h0),
+                "hot block evicted at i={i} despite constant touches"
+            );
+            assert!(s.resident_blocks() <= FILE_STORE_CACHE);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_put_batch_round_trips() {
+        let path = temp_file("batch");
+        let blocks: Vec<Block> = (0..8).map(block).collect();
+        let mut s = FileStore::open(&path).unwrap();
+        s.put_batch(blocks.clone()).unwrap();
+        assert_eq!(s.len(), 8);
+        // Reopen and scan in append order.
+        drop(s);
+        let s = FileStore::open(&path).unwrap();
+        let mut seen = Vec::new();
+        s.scan(&mut |b| seen.push(b.header.height)).unwrap();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_put_batch_dedupes_past_cache_capacity() {
+        let path = temp_file("batch-dedup");
+        let mut s = FileStore::open(&path).unwrap();
+        // The duplicate reappears after more than FILE_STORE_CACHE distinct
+        // blocks, so the staged (unflushed) first copy is long evicted from
+        // the hot cache when the dedupe check runs.
+        let mut batch: Vec<Block> = (0..FILE_STORE_CACHE as u64 + 20).map(block).collect();
+        batch.push(block(0));
+        let expect = batch.len() - 1;
+        s.put_batch(batch).unwrap();
+        assert_eq!(s.len(), expect);
+        let mut seen = 0u64;
+        s.scan(&mut |_| seen += 1).unwrap();
+        assert_eq!(seen as usize, expect, "no duplicate frame on disk");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_demote_drops_resident_copy_only() {
+        let path = temp_file("demote");
+        let mut s = FileStore::open(&path).unwrap();
+        let b = block(1);
+        let h = b.hash();
+        s.put(b.clone()).unwrap();
+        assert_eq!(s.resident_blocks(), 1);
+        s.demote(&h);
+        assert_eq!(s.resident_blocks(), 0);
+        assert_eq!(*s.get(&h).unwrap(), b, "block survives on disk");
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -16,6 +16,7 @@
 //! than derived, deliberately: on-chain formats are consensus-critical and
 //! should be explicit in the source.
 
+pub mod frame;
 mod reader;
 mod writer;
 
