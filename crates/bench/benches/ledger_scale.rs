@@ -5,12 +5,18 @@
 //! backends and reports:
 //!
 //! * one-shot: append throughput (blocks/s), resident decoded blocks, and
-//!   on-disk segment layout for `MemStore` vs `TieredStore`;
-//! * timed: canonical tx-lookup latency, hot (repeated id, cache hit) and
-//!   uniform (sweep over all history, mostly cold-tier reads for the
-//!   tiered chain).
+//!   on-disk segment layout for `MemStore` vs `TieredStore` vs
+//!   `TieredStore + TxIndex` (the spilled-index configuration, where the
+//!   mutable in-memory index covers only the non-finalized suffix);
+//! * timed: canonical tx-lookup latency — hot (repeated id, cache hit),
+//!   uniform (sweep over all history, mostly cold-tier reads), and the
+//!   spilled-index point/secondary query path (warm page cache vs sweep);
+//! * one-shot: segment compaction on a fork-heavy history — reclaimed
+//!   bytes and full canonical-scan wall clock before/after `compact`.
 
+use blockprov_ledger::block::Block;
 use blockprov_ledger::chain::{Chain, ChainConfig};
+use blockprov_ledger::index::{TxIndex, TxIndexConfig};
 use blockprov_ledger::segment::{SegmentConfig, TieredConfig, TieredStore};
 use blockprov_ledger::store::MemStore;
 use blockprov_ledger::tx::{AccountId, Transaction, TxId};
@@ -73,9 +79,43 @@ fn grow(chain: &mut Chain, blocks: u64) -> (Vec<TxId>, std::time::Duration) {
     (ids, start.elapsed())
 }
 
-/// One-shot 100k-block append measurement for both backends (a measurement,
-/// not a timing loop — printed once, `storage_dedup` style).
-fn report_append_throughput() -> (Chain, Vec<TxId>, Chain, Vec<TxId>, std::path::PathBuf) {
+fn spilled_chain(dir: &std::path::Path) -> Chain {
+    let store = TieredStore::open(
+        dir,
+        TieredConfig {
+            segment: SegmentConfig {
+                segment_bytes: 8 * 1024 * 1024,
+            },
+            hot_capacity: HOT_CAPACITY,
+        },
+    )
+    .expect("open tiered store");
+    // Small pages and a page cache well below the page count, so the cold
+    // sweep below actually exercises page reads rather than pure cache hits.
+    let index = TxIndex::open(
+        dir.join("txindex"),
+        TxIndexConfig {
+            partitions: 16,
+            page_entries: 64,
+            cached_pages: 8,
+        },
+    )
+    .expect("open tx index");
+    Chain::with_store_and_index(Box::new(store), index, chain_config())
+}
+
+/// One-shot 100k-block append measurement for all three backends (a
+/// measurement, not a timing loop — printed once, `storage_dedup` style).
+#[allow(clippy::type_complexity)]
+fn report_append_throughput() -> (
+    Chain,
+    Vec<TxId>,
+    Chain,
+    Vec<TxId>,
+    Chain,
+    Vec<TxId>,
+    Vec<std::path::PathBuf>,
+) {
     let mut mem = Chain::with_store(Box::new(MemStore::new()), chain_config());
     let (mem_ids, mem_t) = grow(&mut mem, SCALE_BLOCKS);
     println!(
@@ -103,11 +143,115 @@ fn report_append_throughput() -> (Chain, Vec<TxId>, Chain, Vec<TxId>, std::path:
         tiered.resident_blocks() <= HOT_CAPACITY,
         "tiered chain must stay within its hot-set bound"
     );
-    (mem, mem_ids, tiered, tiered_ids, dir)
+
+    let sdir = tiered_dir("spilled");
+    let mut spilled = spilled_chain(&sdir);
+    let (spilled_ids, spilled_t) = grow(&mut spilled, SCALE_BLOCKS);
+    // Cut the staged tails into durable pages so the lookup benches below
+    // measure the page path, not the in-memory staging buffer.
+    spilled.sync_index().expect("sync index");
+    let ix = spilled.tx_index().expect("index attached");
+    println!(
+        "ledger_scale append [Tiered+TxIndex]: {SCALE_BLOCKS} blocks in {:.2?} \
+         ({:.0} blocks/s), resident index entries {} (history {}), \
+         {} spilled entries across {} pages / {} partitions, {} index bytes",
+        spilled_t,
+        SCALE_BLOCKS as f64 / spilled_t.as_secs_f64(),
+        spilled.resident_index_entries(),
+        spilled_ids.len(),
+        ix.entries(),
+        ix.page_count(),
+        ix.partition_count(),
+        ix.stored_bytes(),
+    );
+    (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, vec![dir, sdir])
+}
+
+/// One-shot compaction measurement: a fork-heavy history over tiny
+/// segments, scan wall clock before and after reclaiming the stale forks.
+fn report_compaction() {
+    const FORKY_BLOCKS: u64 = 20_000;
+    let dir = tiered_dir("compact");
+    let store = TieredStore::open(
+        &dir,
+        TieredConfig {
+            segment: SegmentConfig {
+                segment_bytes: 256 * 1024,
+            },
+            hot_capacity: HOT_CAPACITY,
+        },
+    )
+    .expect("open tiered store");
+    let mut chain = Chain::with_store(Box::new(store), chain_config());
+    let sealer = AccountId::from_name("sealer");
+    for i in 0..FORKY_BLOCKS {
+        let parent = chain.tip();
+        let height = chain.height() + 1;
+        let canon = chain.assemble_next(i + 1, sealer, 0, Vec::new());
+        chain.append(canon).expect("append");
+        // Every 10th height also gets an equal-work rival that loses the
+        // tie and rots in the cold tier until compaction.
+        if i % 10 == 0 {
+            let rival = Block::assemble(
+                height,
+                parent,
+                i + 1,
+                AccountId::from_name("rival"),
+                0,
+                vec![Transaction::new(
+                    AccountId::from_name("r"),
+                    i,
+                    i,
+                    9,
+                    vec![0xEE; 96],
+                )],
+            );
+            chain.append(rival).expect("append rival");
+        }
+    }
+    // Best of two sweeps: the first warms OS/file caches, the second is
+    // the steady-state number.
+    let sweep = |chain: &Chain| {
+        let mut best = std::time::Duration::MAX;
+        let mut seen = 0u64;
+        for _ in 0..2 {
+            let t = Instant::now();
+            seen = 0;
+            for h in 0..=chain.height() {
+                if chain.block_at(h).is_some() {
+                    seen += 1;
+                }
+            }
+            best = best.min(t.elapsed());
+        }
+        (seen, best)
+    };
+    let bytes_before = chain.stored_bytes();
+    let (seen_before, scan_before) = sweep(&chain);
+    let t = Instant::now();
+    let stats = chain.compact().expect("compact");
+    let compact_t = t.elapsed();
+    let (seen_after, scan_after) = sweep(&chain);
+    assert_eq!(seen_before, seen_after, "canonical blocks must survive");
+    println!(
+        "ledger_scale compaction: {FORKY_BLOCKS} blocks + {} forks, compact in {:.2?}: \
+         dropped {} blocks, reclaimed {} of {} bytes ({} segments rewritten); \
+         full canonical scan {:.2?} → {:.2?}",
+        FORKY_BLOCKS / 10,
+        compact_t,
+        stats.blocks_dropped,
+        stats.bytes_reclaimed,
+        bytes_before,
+        stats.segments_rewritten,
+        scan_before,
+        scan_after,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_ledger_scale(c: &mut Criterion) {
-    let (mem, mem_ids, tiered, tiered_ids, dir) = report_append_throughput();
+    let (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, dirs) =
+        report_append_throughput();
 
     let mut group = c.benchmark_group("tx_lookup_100k_chain");
     group.sample_size(20);
@@ -116,6 +260,7 @@ fn bench_ledger_scale(c: &mut Criterion) {
     for (label, chain, ids) in [
         ("mem", &mem, &mem_ids),
         ("tiered", &tiered, &tiered_ids),
+        ("spilled", &spilled, &spilled_ids),
     ] {
         let hot_id = *ids.last().expect("sample txs");
         group.bench_with_input(BenchmarkId::new("hot", label), &hot_id, |b, id| {
@@ -127,6 +272,7 @@ fn bench_ledger_scale(c: &mut Criterion) {
     for (label, chain, ids) in [
         ("mem", &mem, &mem_ids),
         ("tiered", &tiered, &tiered_ids),
+        ("spilled", &spilled, &spilled_ids),
     ] {
         let mut cursor = 0usize;
         group.bench_with_input(BenchmarkId::new("uniform", label), &(), |b, _| {
@@ -139,8 +285,41 @@ fn bench_ledger_scale(c: &mut Criterion) {
     }
     group.finish();
 
+    // The spilled-index *point lookup* path in isolation (no block fetch):
+    // hot = one long-finalized id, its page pinned in the LRU page cache;
+    // cold = sweep over all finalized ids, page cache mostly missing.
+    let mut group = c.benchmark_group("spilled_index_lookup");
+    group.sample_size(20);
+    let oldest = spilled_ids.first().expect("sample txs");
+    group.bench_with_input(BenchmarkId::new("hot", "page-cached"), oldest, |b, id| {
+        b.iter(|| spilled.tx_by_id(black_box(id)).expect("finalized tx"))
+    });
+    let mut cursor = 0usize;
+    group.bench_with_input(BenchmarkId::new("cold", "page-sweep"), &(), |b, _| {
+        b.iter(|| {
+            let id = &spilled_ids[cursor % spilled_ids.len()];
+            cursor = cursor.wrapping_add(1);
+            spilled.tx_by_id(black_box(id)).expect("finalized tx")
+        })
+    });
+    // Secondary full-history query across both tiers.
+    let auditor = AccountId::from_name("auditor");
+    group.bench_with_input(
+        BenchmarkId::new("by_author", "full-history"),
+        &auditor,
+        |b, author| b.iter(|| spilled.txs_by_author(black_box(author)).len()),
+    );
+    group.finish();
+    let (hits, misses) = spilled.tx_index().expect("index").cache_stats();
+    println!("ledger_scale spilled-index page cache: {hits} hits / {misses} misses");
+
+    report_compaction();
+
     drop(tiered);
-    let _ = std::fs::remove_dir_all(&dir);
+    drop(spilled);
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 criterion_group!(benches, bench_ledger_scale);

@@ -42,6 +42,9 @@ pub enum CoreError {
     MiningFailed,
     /// Record not found on the canonical chain.
     UnknownRecord(RecordId),
+    /// The durable transaction index failed a read (corruption or I/O) —
+    /// surfaced loudly instead of rebuilding a partial provenance graph.
+    IndexIo(std::io::Error),
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +58,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownAgent(a) => write!(f, "unknown agent {a}"),
             CoreError::MiningFailed => write!(f, "mining budget exhausted"),
             CoreError::UnknownRecord(r) => write!(f, "unknown record {r}"),
+            CoreError::IndexIo(e) => write!(f, "transaction index read failed: {e}"),
         }
     }
 }
@@ -166,6 +170,27 @@ impl ProvenanceLedger {
         store: Box<dyn blockprov_ledger::store::BlockStore>,
     ) -> std::io::Result<Self> {
         let chain = Chain::replay(store, Self::chain_config(&config))?;
+        Self::finish_open(config, chain)
+    }
+
+    /// [`ProvenanceLedger::open_with_store`] with a durable transaction
+    /// index (see [`blockprov_ledger::index::TxIndex`]).
+    ///
+    /// The chain's canonical tx indexes rehydrate from the index pages
+    /// instead of being rebuilt in RAM — the mutable in-memory index covers
+    /// only the non-finalized suffix — and the provenance layer is
+    /// reconstructed by walking `txs_by_kind(PROVENANCE)` rather than
+    /// re-reading every canonical block.
+    pub fn open_with_store_and_index(
+        config: LedgerConfig,
+        store: Box<dyn blockprov_ledger::store::BlockStore>,
+        index: blockprov_ledger::index::TxIndex,
+    ) -> std::io::Result<Self> {
+        let chain = Chain::replay_with_index(store, index, Self::chain_config(&config))?;
+        Self::finish_open(config, chain)
+    }
+
+    fn finish_open(config: LedgerConfig, chain: Chain) -> std::io::Result<Self> {
         let mut ledger = Self::assemble(config, chain);
         ledger.rehydrate_provenance().map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, format!("replay: {e}"))
@@ -174,30 +199,50 @@ impl ProvenanceLedger {
     }
 
     /// Rebuild the provenance layer from the canonical chain after replay.
+    ///
+    /// Index-driven: only provenance-carrying transactions are visited (via
+    /// the two-tier located-by-kind query, which hands back each entry's
+    /// block and position so no per-id point lookup re-probes the index),
+    /// in canonical order — blocks with no provenance payload are never
+    /// decoded, and consecutive transactions of one block hit the store's
+    /// hot cache. A durable-index read failure fails the open loudly
+    /// instead of silently rebuilding a partial provenance graph. The
+    /// logical clock resumes from the tip header and the visited
+    /// records/blocks — for ledger-sealed histories the tip carries the
+    /// maximum timestamp.
     fn rehydrate_provenance(&mut self) -> Result<(), CoreError> {
-        let hashes: Vec<_> = self.chain.canonical_hashes().copied().collect();
-        for hash in hashes {
-            let block = self.chain.block(&hash).expect("canonical block stored");
+        self.now_ms = self.now_ms.max(self.chain.tip_header().timestamp_ms);
+        let located = self
+            .chain
+            .try_txs_by_kind_located(txkind::PROVENANCE)
+            .map_err(CoreError::IndexIo)?;
+        for (id, hash, pos) in located {
+            // A located entry whose block is unreadable means the index and
+            // store disagree (e.g. the store was rolled back without its
+            // index directory) — fail the open rather than silently
+            // rebuilding a partial provenance graph.
+            let block = self.chain.block(&hash).ok_or_else(|| {
+                CoreError::IndexIo(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("index entry for {id} references block {hash} missing from the store"),
+                ))
+            })?;
+            let tx = &block.txs[pos as usize];
             self.now_ms = self.now_ms.max(block.header.timestamp_ms);
-            for tx in &block.txs {
-                if tx.kind != txkind::PROVENANCE {
-                    continue;
-                }
-                // OnChainFull transactions append raw content after the
-                // record, so decode from the payload prefix (a payload that
-                // is exactly one record is the prefix case with no tail).
-                let Some(record) = Self::decode_record_prefix(&tx.payload) else {
-                    continue;
-                };
-                let record_id = record.id();
-                self.now_ms = self.now_ms.max(record.timestamp_ms);
-                let nonce = self.nonces.entry(tx.author).or_insert(0);
-                *nonce = (*nonce).max(tx.nonce + 1);
-                self.record_tx.insert(record_id, tx.id());
-                if self.graph.get(&record_id).is_none() {
-                    self.graph.insert(record.clone())?;
-                    self.engine.index_record(record_id, &record);
-                }
+            // OnChainFull transactions append raw content after the
+            // record, so decode from the payload prefix (a payload that
+            // is exactly one record is the prefix case with no tail).
+            let Some(record) = Self::decode_record_prefix(&tx.payload) else {
+                continue;
+            };
+            let record_id = record.id();
+            self.now_ms = self.now_ms.max(record.timestamp_ms);
+            let nonce = self.nonces.entry(tx.author).or_insert(0);
+            *nonce = (*nonce).max(tx.nonce + 1);
+            self.record_tx.insert(record_id, id);
+            if self.graph.get(&record_id).is_none() {
+                self.graph.insert(record.clone())?;
+                self.engine.index_record(record_id, &record);
             }
         }
         Ok(())
@@ -731,6 +776,72 @@ mod tests {
         assert!(proof.verify(&record));
         // The derivation edge survives replay too.
         assert_eq!(l.graph().ancestors(&rid).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_over_indexed_store_bounds_resident_index_and_replays() {
+        use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+        let dir = temp_dir("indexed");
+        let config = LedgerConfig::private_default().with_finality(4);
+        let index_config = TxIndexConfig {
+            partitions: 4,
+            page_entries: 8,
+            cached_pages: 8,
+        };
+        let open = |config: &LedgerConfig| {
+            ProvenanceLedger::open_with_store_and_index(
+                config.clone(),
+                tiered_store(&dir),
+                TxIndex::open(dir.join("txindex"), index_config).unwrap(),
+            )
+            .unwrap()
+        };
+        let (rid, tip, height);
+        {
+            let mut l = open(&config);
+            let alice = l.register_agent("alice").unwrap();
+            l.register_entity("report.pdf", b"v1").unwrap();
+            rid = l
+                .apply_operation(&alice, "report.pdf", Action::Update, b"v2")
+                .unwrap();
+            l.seal_block().unwrap();
+            for i in 0..24 {
+                l.apply_operation(&alice, &format!("f{i}"), Action::Create, b"x")
+                    .unwrap();
+                l.seal_block().unwrap();
+            }
+            // The mutable index covers only the non-finalized suffix…
+            let suffix = l.chain().height() - l.chain().finalized_height();
+            assert!(
+                (l.chain().resident_index_entries() as u64) <= 2 * suffix,
+                "resident index entries {} not bounded by suffix {suffix}",
+                l.chain().resident_index_entries()
+            );
+            // …while finalized entries are served from the durable tier.
+            assert!(l.chain().tx_index().unwrap().entries() > 0);
+            let proof = l.prove_record(&rid).unwrap();
+            assert!(proof.verify(&l.record(&rid).unwrap().clone()));
+            tip = l.chain().tip();
+            height = l.chain().height();
+        }
+
+        // Restart: chain queries rehydrate from index pages, and the
+        // provenance layer is rebuilt via txs_by_kind.
+        let mut l = open(&config);
+        assert_eq!(l.chain().tip(), tip);
+        assert_eq!(l.chain().height(), height);
+        l.verify_chain().unwrap();
+        let res = l.query(&ProvQuery::BySubject("report.pdf".into()));
+        assert_eq!(res.ids.len(), 2);
+        let record = l.record(&rid).unwrap().clone();
+        assert!(l.prove_record(&rid).unwrap().verify(&record));
+        // Nonces continue, so new operations seal cleanly.
+        let alice = l.register_agent("alice").unwrap();
+        l.apply_operation(&alice, "f-new", Action::Create, b"y")
+            .unwrap();
+        l.seal_block().unwrap();
+        l.verify_chain().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,11 +11,12 @@
 //! paired with [`crate::segment::TieredStore`].
 
 use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
-use crate::store::{BlockStore, MemStore};
+use crate::index::{IndexEntry, TxIndex};
+use crate::store::{BlockStore, CompactionStats, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
 use blockprov_crypto::sha256::Hash256;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -201,11 +202,18 @@ struct BlockUndo {
 /// Canonical-chain indexes, maintained incrementally: extending the tip
 /// absorbs one block, a reorg un-absorbs back to the fork point and
 /// re-absorbs along the winning branch.
+///
+/// When the chain runs with a [`TxIndex`], this mutable tier covers only the
+/// *non-finalized suffix*: finality spills a block's entries to the durable
+/// index and pops them here, so resident entries stay O(finality window)
+/// over unbounded history. Author/kind lists are deques because absorb
+/// appends at the back, reorg undo pops from the back, and finality spill
+/// pops from the front.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct ChainIndex {
     tx_loc: HashMap<TxId, (BlockHash, u32)>,
-    by_author: HashMap<AccountId, Vec<TxId>>,
-    by_kind: HashMap<u16, Vec<TxId>>,
+    by_author: HashMap<AccountId, VecDeque<TxId>>,
+    by_kind: HashMap<u16, VecDeque<TxId>>,
     next_nonce: HashMap<AccountId, u64>,
 }
 
@@ -218,8 +226,8 @@ impl ChainIndex {
         for (i, tx) in block.txs.iter().enumerate() {
             let id = tx.id();
             let prev_loc = self.tx_loc.insert(id, (hash, i as u32));
-            self.by_author.entry(tx.author).or_default().push(id);
-            self.by_kind.entry(tx.kind).or_default().push(id);
+            self.by_author.entry(tx.author).or_default().push_back(id);
+            self.by_kind.entry(tx.kind).or_default().push_back(id);
             let prev_nonce = self.next_nonce.get(&tx.author).copied();
             let next = self.next_nonce.entry(tx.author).or_insert(0);
             *next = (*next).max(tx.nonce + 1);
@@ -248,15 +256,15 @@ impl ChainIndex {
                 }
             }
             if let Some(list) = self.by_author.get_mut(&u.author) {
-                debug_assert_eq!(list.last(), Some(&u.id), "undo out of order");
-                list.pop();
+                debug_assert_eq!(list.back(), Some(&u.id), "undo out of order");
+                list.pop_back();
                 if list.is_empty() {
                     self.by_author.remove(&u.author);
                 }
             }
             if let Some(list) = self.by_kind.get_mut(&u.kind) {
-                debug_assert_eq!(list.last(), Some(&u.id), "undo out of order");
-                list.pop();
+                debug_assert_eq!(list.back(), Some(&u.id), "undo out of order");
+                list.pop_back();
                 if list.is_empty() {
                     self.by_kind.remove(&u.kind);
                 }
@@ -270,6 +278,40 @@ impl ChainIndex {
                 }
             }
         }
+    }
+
+    /// Drop one *finalized* block's entries from the mutable tier after they
+    /// were flushed to the durable [`TxIndex`]. Spilling runs in canonical
+    /// order (oldest block first), so each transaction is the current front
+    /// of its author/kind deques. Nonce state is consensus state, not a
+    /// query index, and stays resident.
+    fn spill(&mut self, hash: BlockHash, undo: &BlockUndo) {
+        for (i, u) in undo.txs.iter().enumerate() {
+            // A later canonical block may have re-sealed the same id and
+            // overwritten `tx_loc`; only remove the entry this block owns.
+            if self.tx_loc.get(&u.id) == Some(&(hash, i as u32)) {
+                self.tx_loc.remove(&u.id);
+            }
+            if let Some(list) = self.by_author.get_mut(&u.author) {
+                debug_assert_eq!(list.front(), Some(&u.id), "spill out of order");
+                list.pop_front();
+                if list.is_empty() {
+                    self.by_author.remove(&u.author);
+                }
+            }
+            if let Some(list) = self.by_kind.get_mut(&u.kind) {
+                debug_assert_eq!(list.front(), Some(&u.id), "spill out of order");
+                list.pop_front();
+                if list.is_empty() {
+                    self.by_kind.remove(&u.kind);
+                }
+            }
+        }
+    }
+
+    /// Occurrence count across the author lists (one per canonical tx).
+    fn resident_entries(&self) -> usize {
+        self.by_author.values().map(VecDeque::len).sum()
     }
 }
 
@@ -294,6 +336,10 @@ pub struct Chain {
     /// Height of the current finality checkpoint (0 = only genesis final…
     /// and genesis is only treated as final once a depth is configured).
     finalized_height: u64,
+    /// Durable index tier: finalized entries spill here at checkpoint time
+    /// and the mutable [`ChainIndex`] then covers only the suffix. `None`
+    /// keeps the PR 2 behavior (everything resident).
+    tx_index: Option<TxIndex>,
 }
 
 impl Chain {
@@ -307,7 +353,31 @@ impl Chain {
     /// If the store already holds a genesis-compatible history it is *not*
     /// replayed — this constructor always starts a fresh lineage. Use
     /// [`Chain::replay`] to resume from a durable store.
-    pub fn with_store(mut store: Box<dyn BlockStore>, config: ChainConfig) -> Self {
+    pub fn with_store(store: Box<dyn BlockStore>, config: ChainConfig) -> Self {
+        Self::with_optional_index(store, None, config)
+    }
+
+    /// Create a chain over a custom store *and* a durable transaction
+    /// index: at each finality checkpoint, entries for newly-final blocks
+    /// are flushed to `index` and dropped from the mutable in-memory index,
+    /// bounding resident index memory by the finality window.
+    ///
+    /// The index must belong to this store's history (fresh, or reopened
+    /// alongside it). To resume both from disk use
+    /// [`Chain::replay_with_index`].
+    pub fn with_store_and_index(
+        store: Box<dyn BlockStore>,
+        index: TxIndex,
+        config: ChainConfig,
+    ) -> Self {
+        Self::with_optional_index(store, Some(index), config)
+    }
+
+    fn with_optional_index(
+        mut store: Box<dyn BlockStore>,
+        tx_index: Option<TxIndex>,
+        config: ChainConfig,
+    ) -> Self {
         let genesis_block = Self::genesis_block();
         let genesis = genesis_block.hash();
         let arc = store.put(genesis_block).expect("store genesis");
@@ -335,6 +405,7 @@ impl Chain {
             undo: HashMap::new(),
             at_height,
             finalized_height: 0,
+            tx_index,
         }
     }
 
@@ -347,12 +418,36 @@ impl Chain {
     /// Resident memory stays bounded by the store's hot tier: the scan only
     /// retains `(height, hash)` pairs, and bodies are fetched one at a time.
     pub fn replay(store: Box<dyn BlockStore>, config: ChainConfig) -> std::io::Result<Self> {
+        Self::replay_inner(store, None, config)
+    }
+
+    /// [`Chain::replay`] with a durable transaction index.
+    ///
+    /// Re-appending the stored history re-derives every index entry, but
+    /// [`TxIndex::append`] drops entries already durable in a partition
+    /// (height at or below its durable watermark), so only the suffix lost
+    /// to a crash — if any — is actually rewritten. The net effect is that
+    /// a restart *rehydrates* full-history queries from the index pages
+    /// instead of rebuilding them all in RAM.
+    pub fn replay_with_index(
+        store: Box<dyn BlockStore>,
+        index: TxIndex,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
+        Self::replay_inner(store, Some(index), config)
+    }
+
+    fn replay_inner(
+        store: Box<dyn BlockStore>,
+        index: Option<TxIndex>,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
         let mut order: Vec<(u64, BlockHash)> = Vec::new();
         store.scan(&mut |b| order.push((b.header.height, b.hash())))?;
         // Stable sort: parents (strictly lower height) come first, original
         // append order is preserved within a height.
         order.sort_by_key(|&(h, _)| h);
-        let mut chain = Self::with_store(store, config);
+        let mut chain = Self::with_optional_index(store, index, config);
         for (_, hash) in order {
             if chain.meta.contains_key(&hash) {
                 continue; // genesis (or a duplicate frame)
@@ -469,10 +564,32 @@ impl Chain {
         self.index.next_nonce.get(author).copied().unwrap_or(0)
     }
 
-    /// Locate a transaction on the canonical chain.
+    /// Locate a canonical transaction: `(containing block hash, position)`.
+    ///
+    /// Two-tier lookup: the mutable index covers the non-finalized suffix,
+    /// the durable [`TxIndex`] (when attached) covers finalized history.
+    /// An unreadable durable index reads as absent here, matching
+    /// [`BlockStore::get`]'s `Option` contract; error-aware callers use
+    /// [`Chain::try_tx_by_id`].
+    pub fn tx_by_id(&self, id: &TxId) -> Option<(BlockHash, u32)> {
+        self.try_tx_by_id(id).unwrap_or(None)
+    }
+
+    /// [`Chain::tx_by_id`], surfacing durable-index read errors.
+    pub fn try_tx_by_id(&self, id: &TxId) -> std::io::Result<Option<(BlockHash, u32)>> {
+        if let Some(loc) = self.index.tx_loc.get(id) {
+            return Ok(Some(*loc));
+        }
+        match &self.tx_index {
+            Some(ix) => ix.lookup(id),
+            None => Ok(None),
+        }
+    }
+
+    /// Locate a transaction on the canonical chain, fetching its block.
     pub fn find_tx(&self, id: &TxId) -> Option<(Arc<Block>, u32)> {
-        let (hash, pos) = self.index.tx_loc.get(id)?;
-        Some((self.store.get(hash)?, *pos))
+        let (hash, pos) = self.tx_by_id(id)?;
+        Some((self.store.get(&hash)?, pos))
     }
 
     /// Fetch a transaction by id from the canonical chain.
@@ -482,13 +599,105 @@ impl Chain {
     }
 
     /// All canonical transaction ids by author, oldest first.
-    pub fn txs_by_author(&self, author: &AccountId) -> &[TxId] {
-        self.index.by_author.get(author).map_or(&[], Vec::as_slice)
+    ///
+    /// Owned result: finalized ids come from the durable index tier,
+    /// suffix ids from the mutable one, merged in canonical order. An
+    /// unreadable durable index reads as an empty finalized tier; see
+    /// [`Chain::try_txs_by_author`] for the error-surfacing variant.
+    pub fn txs_by_author(&self, author: &AccountId) -> Vec<TxId> {
+        self.try_txs_by_author(author).unwrap_or_default()
+    }
+
+    /// [`Chain::txs_by_author`], surfacing durable-index read errors.
+    pub fn try_txs_by_author(&self, author: &AccountId) -> std::io::Result<Vec<TxId>> {
+        let mut out = match &self.tx_index {
+            Some(ix) => ix.txs_by_author(author)?,
+            None => Vec::new(),
+        };
+        if let Some(list) = self.index.by_author.get(author) {
+            out.extend(list.iter().copied());
+        }
+        Ok(out)
     }
 
     /// All canonical transaction ids with the given kind tag, oldest first.
-    pub fn txs_by_kind(&self, kind: u16) -> &[TxId] {
-        self.index.by_kind.get(&kind).map_or(&[], Vec::as_slice)
+    /// Owned, two-tier merged — see [`Chain::txs_by_author`].
+    pub fn txs_by_kind(&self, kind: u16) -> Vec<TxId> {
+        self.try_txs_by_kind(kind).unwrap_or_default()
+    }
+
+    /// [`Chain::txs_by_kind`], surfacing durable-index read errors.
+    pub fn try_txs_by_kind(&self, kind: u16) -> std::io::Result<Vec<TxId>> {
+        let mut out = match &self.tx_index {
+            Some(ix) => ix.txs_by_kind(kind)?,
+            None => Vec::new(),
+        };
+        if let Some(list) = self.index.by_kind.get(&kind) {
+            out.extend(list.iter().copied());
+        }
+        Ok(out)
+    }
+
+    /// Canonical transactions of one kind *with their locations*, oldest
+    /// first: `(id, containing block, position)`.
+    ///
+    /// Full-history consumers (provenance rehydration after restart) use
+    /// this instead of `txs_by_kind` + per-id lookups — the durable tier
+    /// already decoded every matching page once, so handing back locations
+    /// avoids a second bloom-probe/page-read sweep per transaction. For a
+    /// duplicated id the location is that of *an* occurrence; identical
+    /// ids imply identical transaction bytes, so any occurrence decodes
+    /// to the same transaction.
+    pub fn try_txs_by_kind_located(
+        &self,
+        kind: u16,
+    ) -> std::io::Result<Vec<(TxId, BlockHash, u32)>> {
+        let mut out: Vec<(TxId, BlockHash, u32)> = match &self.tx_index {
+            Some(ix) => ix
+                .entries_by_kind(kind)?
+                .into_iter()
+                .map(|e| (e.id, e.block, e.pos))
+                .collect(),
+            None => Vec::new(),
+        };
+        if let Some(list) = self.index.by_kind.get(&kind) {
+            for id in list {
+                let (hash, pos) = self.index.tx_loc[id];
+                out.push((*id, hash, pos));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entries currently held in the mutable in-memory index — O(finality
+    /// window) when a durable index is attached, O(history) otherwise.
+    pub fn resident_index_entries(&self) -> usize {
+        self.index.resident_entries()
+    }
+
+    /// The attached durable index tier, if any (stats and inspection).
+    pub fn tx_index(&self) -> Option<&TxIndex> {
+        self.tx_index.as_ref()
+    }
+
+    /// Force staged durable-index entries onto disk (checkpoint/shutdown
+    /// hygiene; queries see staged entries either way).
+    pub fn sync_index(&mut self) -> std::io::Result<()> {
+        match &mut self.tx_index {
+            Some(ix) => ix.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Compact the block store against the current finality checkpoint:
+    /// blocks on pruned forks at or below the checkpoint are dropped from
+    /// sealed cold-tier segments. A no-op without finality or on stores
+    /// with nothing to reclaim.
+    pub fn compact(&mut self) -> std::io::Result<CompactionStats> {
+        match self.checkpoint() {
+            Some(cp) => self.store.compact(&cp),
+            None => Ok(CompactionStats::default()),
+        }
     }
 
     /// Produce a self-contained inclusion proof for a canonical transaction.
@@ -696,11 +905,26 @@ impl Chain {
         }
         let old_fin = self.finalized_height;
         self.finalized_height = new_fin;
-        // Prune newly-final heights.
+        // Prune newly-final heights, spilling their index entries to the
+        // durable tier (when attached) so the mutable index keeps covering
+        // only the non-finalized suffix.
+        let mut spill: Vec<IndexEntry> = Vec::new();
         let mut orphan_frontier: HashSet<BlockHash> = HashSet::new();
         for h in (old_fin + 1)..=new_fin {
             let canon = self.canonical[h as usize];
-            self.undo.remove(&canon);
+            if let Some(undo) = self.undo.remove(&canon) {
+                if self.tx_index.is_some() {
+                    spill.extend(undo.txs.iter().enumerate().map(|(i, u)| IndexEntry {
+                        id: u.id,
+                        author: u.author,
+                        kind: u.kind,
+                        block: canon,
+                        height: h,
+                        pos: i as u32,
+                    }));
+                    self.index.spill(canon, &undo);
+                }
+            }
             self.store.demote(&canon);
             if let Some(list) = self.at_height.remove(&h) {
                 for hash in list {
@@ -710,6 +934,13 @@ impl Chain {
                     }
                 }
             }
+        }
+        if !spill.is_empty() {
+            self.tx_index
+                .as_mut()
+                .expect("spill gathered only with an index")
+                .append(spill)
+                .expect("tx index append");
         }
         // Cascade: fork blocks above the checkpoint whose ancestry was just
         // pruned can never win fork choice again — drop their metadata too.
@@ -772,8 +1003,12 @@ impl Chain {
 
     /// Audit helper: rebuild the canonical indexes from scratch and compare
     /// with the incrementally-maintained ones. `true` means they agree —
-    /// the invariant the incremental undo/redo machinery must preserve
-    /// across any fork/reorg/finality sequence.
+    /// the invariant the incremental undo/redo (and finality spill)
+    /// machinery must preserve across any fork/reorg/finality sequence.
+    ///
+    /// Without a durable index this is a structural equality check; with
+    /// one, the *merged* two-tier query results are compared against the
+    /// rebuild, entry by entry.
     pub fn index_consistent(&self) -> bool {
         let mut rebuilt = ChainIndex::default();
         for hash in &self.canonical {
@@ -783,7 +1018,48 @@ impl Chain {
             };
             rebuilt.absorb(&block);
         }
-        rebuilt == self.index
+        if self.tx_index.is_none() {
+            return rebuilt == self.index;
+        }
+        // Nonce state never spills; it must match exactly.
+        if rebuilt.next_nonce != self.index.next_nonce {
+            return false;
+        }
+        // Every canonical location resolves through the merged lookup, and
+        // the mutable tier holds no phantom entries.
+        for (id, loc) in &rebuilt.tx_loc {
+            if self.tx_by_id(id) != Some(*loc) {
+                return false;
+            }
+        }
+        for (id, loc) in &self.index.tx_loc {
+            if rebuilt.tx_loc.get(id) != Some(loc) {
+                return false;
+            }
+        }
+        // Secondary lists match the rebuild in full, including order; the
+        // merged result must also cover no extra authors/kinds.
+        for (author, list) in &rebuilt.by_author {
+            if self.txs_by_author(author).iter().ne(list.iter()) {
+                return false;
+            }
+        }
+        for (author, _) in &self.index.by_author {
+            if !rebuilt.by_author.contains_key(author) {
+                return false;
+            }
+        }
+        for (kind, list) in &rebuilt.by_kind {
+            if self.txs_by_kind(*kind).iter().ne(list.iter()) {
+                return false;
+            }
+        }
+        for (kind, _) in &self.index.by_kind {
+            if !rebuilt.by_kind.contains_key(kind) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Iterate canonical block hashes from genesis to tip.

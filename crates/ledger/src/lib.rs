@@ -15,6 +15,7 @@
 pub mod block;
 pub mod cache;
 pub mod chain;
+pub mod index;
 pub mod mempool;
 pub mod segment;
 pub mod store;
@@ -23,7 +24,8 @@ pub mod tx;
 pub use block::{Block, BlockHash, BlockHeader, Checkpoint};
 pub use cache::LruCache;
 pub use chain::{Chain, ChainConfig, SignaturePolicy, ValidationError};
+pub use index::{IndexEntry, TxIndex, TxIndexConfig};
 pub use mempool::Mempool;
 pub use segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
-pub use store::{BlockStore, FileStore, MemStore};
+pub use store::{BlockStore, CompactionStats, FileStore, MemStore};
 pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

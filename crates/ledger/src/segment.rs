@@ -13,9 +13,9 @@
 //! block is durable in the cold tier the moment `put` returns, and the hot
 //! set never exceeds its configured capacity.
 
-use crate::block::{Block, BlockHash};
+use crate::block::{Block, BlockHash, Checkpoint};
 use crate::cache::LruCache;
-use crate::store::BlockStore;
+use crate::store::{BlockStore, CompactionStats};
 use blockprov_wire::frame::{
     frame_len, read_frame_from, write_frame_to, SegmentHeader, FRAME_OVERHEAD,
 };
@@ -80,6 +80,10 @@ pub struct SegmentStore {
     reader: RefCell<Option<(u32, File)>>,
     /// Total bytes across all segment files (headers + frames).
     bytes: u64,
+    /// Lifetime tombstone accounting: blocks dropped and bytes reclaimed
+    /// across every compaction pass since open.
+    total_dropped: u64,
+    total_reclaimed: u64,
 }
 
 impl std::fmt::Debug for SegmentStore {
@@ -171,6 +175,8 @@ impl SegmentStore {
             active_len,
             reader: RefCell::new(None),
             bytes,
+            total_dropped: 0,
+            total_reclaimed: 0,
         })
     }
 
@@ -281,6 +287,213 @@ impl SegmentStore {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// Lifetime tombstone totals: `(blocks dropped, bytes reclaimed)`
+    /// across every [`SegmentStore::compact`] pass since open.
+    pub fn compaction_totals(&self) -> (u64, u64) {
+        (self.total_dropped, self.total_reclaimed)
+    }
+
+    /// Whether `block` survives compaction against `cp`: at or below the
+    /// checkpoint only the canonical-final set survives; above it, a block
+    /// survives iff its ancestry reaches the checkpoint block. `memo`
+    /// caches the above-checkpoint reachability verdicts.
+    fn retained(
+        &self,
+        block: &Block,
+        cp: &Checkpoint,
+        canonical_final: &HashMap<u64, BlockHash>,
+        memo: &mut HashMap<BlockHash, bool>,
+    ) -> bool {
+        let h = block.header.height;
+        if h <= cp.height {
+            return canonical_final.get(&h) == Some(&block.hash());
+        }
+        let mut path: Vec<BlockHash> = Vec::new();
+        let mut hash = block.hash();
+        let mut height = h;
+        let mut prev = block.header.prev;
+        let verdict = loop {
+            if let Some(&v) = memo.get(&hash) {
+                break v;
+            }
+            path.push(hash);
+            if height == cp.height + 1 {
+                break prev == cp.hash;
+            }
+            match self.get(&prev) {
+                // Parent already dropped (earlier pass) or never stored:
+                // the branch cannot reach the checkpoint.
+                None => break false,
+                Some(p) => {
+                    hash = prev;
+                    height = p.header.height;
+                    prev = p.header.prev;
+                }
+            }
+        };
+        for visited in path {
+            memo.insert(visited, verdict);
+        }
+        verdict
+    }
+
+    /// Drop blocks on pruned forks, keyed off the finality checkpoint `cp`.
+    ///
+    /// Two passes. Pass 1 (read-only, so parent walks still see every
+    /// block): scan every segment — the active one included — and decide,
+    /// frame by frame, whether the block survives: it must be canonical at
+    /// or below the checkpoint, or descend from the checkpoint block.
+    /// Compacting the active segment matters for correctness, not just
+    /// space: dropping a sealed fork parent while its child lingered in an
+    /// exempt active segment would orphan the child, and a later
+    /// [`crate::chain::Chain::replay`] of the store would fail on the
+    /// dangling parent reference. Pass 2: each segment that lost blocks is
+    /// rewritten (same id, same header, survivors in their original append
+    /// order) to a temp file that atomically replaces the original; the
+    /// offset index is repointed, the reader handle invalidated, and the
+    /// active segment's append handle re-opened onto the rewritten file.
+    /// A second pass over an already-compacted store reclaims nothing —
+    /// compaction is idempotent.
+    pub fn compact(&mut self, cp: &Checkpoint) -> io::Result<CompactionStats> {
+        let mut stats = CompactionStats::default();
+        let cp_block = self.get(&cp.hash).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("checkpoint block {} not in store", cp.hash),
+            )
+        })?;
+        if cp_block.header.height != cp.height {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint height {} does not match stored block height {}",
+                    cp.height, cp_block.header.height
+                ),
+            ));
+        }
+        // The canonical-final set: checkpoint back to genesis, by height.
+        let mut canonical_final: HashMap<u64, BlockHash> = HashMap::new();
+        let mut cur = cp_block;
+        loop {
+            canonical_final.insert(cur.header.height, cur.hash());
+            if cur.header.height == 0 {
+                break;
+            }
+            let parent = self.get(&cur.header.prev).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("canonical ancestor {} missing from store", cur.header.prev),
+                )
+            })?;
+            cur = parent;
+        }
+        // Pass 1: per segment (active included), the keep/drop verdict per
+        // frame. Appends flush before returning, so the active file is
+        // complete on disk.
+        let mut memo: HashMap<BlockHash, bool> = HashMap::new();
+        let mut verdicts: Vec<Vec<(BlockHash, bool)>> =
+            Vec::with_capacity(self.active as usize + 1);
+        for id in 0..=self.active {
+            let mut reader = BufReader::new(File::open(segment_path(&self.dir, id))?);
+            let mut header = [0u8; SegmentHeader::ENCODED_LEN];
+            reader.read_exact(&mut header)?;
+            let mut seg = Vec::new();
+            while let Some(body) = read_frame_from(&mut reader)? {
+                let block = Block::from_wire(&body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let keep = self.retained(&block, cp, &canonical_final, &mut memo);
+                seg.push((block.hash(), keep));
+            }
+            stats.segments_scanned += 1;
+            verdicts.push(seg);
+        }
+        // Pass 2: rewrite segments that lost blocks.
+        for (id, seg) in verdicts.into_iter().enumerate() {
+            let id = id as u32;
+            if seg.iter().all(|&(_, keep)| keep) {
+                continue;
+            }
+            // Every fallible step happens before any in-memory state
+            // changes: a failed rewrite must leave the store exactly as it
+            // was (index, byte accounting, writer), not half-repointed at
+            // a layout that never landed on disk.
+            let path = segment_path(&self.dir, id);
+            let tmp = path.with_extension("blk.tmp");
+            if id == self.active {
+                // The append handle points at the file being replaced;
+                // flush it (appends flush before returning, but be safe).
+                self.writer.flush()?;
+            }
+            let mut kept: Vec<(BlockHash, BlockLocation)> = Vec::new();
+            let mut dropped: Vec<BlockHash> = Vec::new();
+            let new_len = {
+                let mut reader = BufReader::new(File::open(&path)?);
+                let mut header = [0u8; SegmentHeader::ENCODED_LEN];
+                reader.read_exact(&mut header)?;
+                let mut out = BufWriter::new(File::create(&tmp)?);
+                out.write_all(&SegmentHeader::new(id).to_wire())?;
+                let mut pos = SegmentHeader::ENCODED_LEN as u64;
+                let mut frame_idx = 0usize;
+                while let Some(body) = read_frame_from(&mut reader)? {
+                    let (hash, keep) = seg[frame_idx];
+                    frame_idx += 1;
+                    if keep {
+                        kept.push((
+                            hash,
+                            BlockLocation {
+                                segment: id,
+                                offset: pos + FRAME_OVERHEAD,
+                                len: body.len() as u32,
+                            },
+                        ));
+                        write_frame_to(&mut out, &body)?;
+                        pos += frame_len(body.len());
+                    } else {
+                        dropped.push(hash);
+                    }
+                }
+                out.flush()?;
+                out.get_ref().sync_all()?;
+                pos
+            };
+            // Re-open the active append handle on the *tmp* file before the
+            // rename: the fd follows the inode through the rename, so the
+            // swap can never leave the writer on an unlinked file.
+            let new_writer = if id == self.active {
+                Some(BufWriter::new(
+                    OpenOptions::new().append(true).open(&tmp)?,
+                ))
+            } else {
+                None
+            };
+            let old_len = std::fs::metadata(&path)?.len();
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            // Commit: the swap succeeded, now repoint the in-memory state.
+            for (hash, loc) in kept {
+                self.index.insert(hash, loc);
+            }
+            for hash in &dropped {
+                self.index.remove(hash);
+            }
+            stats.blocks_dropped += dropped.len() as u64;
+            stats.bytes_reclaimed += old_len - new_len;
+            self.bytes -= old_len - new_len;
+            // The cached reader may hold the replaced file; reopen lazily.
+            *self.reader.borrow_mut() = None;
+            if let Some(writer) = new_writer {
+                self.writer = writer;
+                self.active_len = new_len;
+            }
+            stats.segments_rewritten += 1;
+        }
+        self.total_dropped += stats.blocks_dropped;
+        self.total_reclaimed += stats.bytes_reclaimed;
+        Ok(stats)
+    }
 }
 
 impl BlockStore for SegmentStore {
@@ -334,6 +547,10 @@ impl BlockStore for SegmentStore {
 
     fn resident_blocks(&self) -> usize {
         0 // cold tier holds no decoded blocks in memory
+    }
+
+    fn compact(&mut self, checkpoint: &Checkpoint) -> io::Result<CompactionStats> {
+        SegmentStore::compact(self, checkpoint)
     }
 
     fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
@@ -463,6 +680,21 @@ impl BlockStore for TieredStore {
         // Safe to drop from the hot set: the block became durable in the
         // cold tier before `put` returned.
         self.hot.borrow_mut().remove(hash);
+    }
+
+    fn compact(&mut self, checkpoint: &Checkpoint) -> io::Result<CompactionStats> {
+        let stats = self.cold.compact(checkpoint)?;
+        if stats.blocks_dropped > 0 {
+            // Purge hot copies of dropped blocks so `get` cannot resurrect
+            // a block the cold tier no longer holds.
+            let mut hot = self.hot.borrow_mut();
+            for key in hot.keys_by_recency() {
+                if !self.cold.contains(&key) {
+                    hot.remove(&key);
+                }
+            }
+        }
+        Ok(stats)
     }
 
     fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
@@ -658,6 +890,108 @@ mod tests {
         assert_eq!(bytes, reference.stored_bytes());
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn truncated_trailing_frame_rejected_on_reopen() {
+        let dir = temp_dir("torn");
+        {
+            let mut s = SegmentStore::open(&dir, SegmentConfig::default()).unwrap();
+            s.put_batch(chain_blocks(3)).unwrap();
+        }
+        // Simulate a torn tail write: a length prefix promising 200 bytes
+        // followed by only a handful. Blocks are authoritative data, so the
+        // store must fail the open loudly (unlike the derived TxIndex,
+        // which self-heals by truncation).
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(segment_path(&dir, 0))
+                .unwrap();
+            f.write_all(&(200u32).to_le_bytes()).unwrap();
+            f.write_all(b"torn").unwrap();
+        }
+        let err = SegmentStore::open(&dir, SegmentConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_only_unreachable_blocks_and_updates_accounting() {
+        use crate::block::Checkpoint;
+        // Two branches off genesis-like roots: chain A (canonical) and a
+        // rival chain B sharing no blocks. Checkpoint on A at height 2.
+        let dir = temp_dir("compact");
+        let mut s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 256 }).unwrap();
+        let a = chain_blocks(5);
+        // Rival branch forking off a[0].
+        let mut b = Vec::new();
+        let mut parent = a[0].hash();
+        for i in 0..4u64 {
+            let blk = Block::assemble(
+                i + 1,
+                parent,
+                5_000 + i,
+                AccountId::from_name("rival"),
+                0,
+                vec![Transaction::new(
+                    AccountId::from_name("r"),
+                    i,
+                    i,
+                    2,
+                    vec![0xEE; 64],
+                )],
+            );
+            parent = blk.hash();
+            b.push(blk);
+        }
+        for blk in a.iter().chain(b.iter()) {
+            s.put(blk.clone()).unwrap();
+        }
+        assert!(s.segment_count() > 2, "need several sealed segments");
+        let bytes_before = s.stored_bytes();
+        let cp = Checkpoint {
+            height: 2,
+            hash: a[2].hash(),
+        };
+        let stats = s.compact(&cp).unwrap();
+        // Everything on the rival branch is gone — below-or-at the
+        // checkpoint because it is not canonical-final, above it because
+        // its ancestry cannot reach the checkpoint block. The active
+        // segment is compacted too: a surviving rival child there would
+        // dangle once its sealed parent was dropped.
+        for blk in &b {
+            assert!(!s.contains(&blk.hash()), "rival block survived compaction");
+        }
+        // The canonical chain survives in full.
+        for blk in &a {
+            assert_eq!(s.get(&blk.hash()).as_deref(), Some(blk));
+        }
+        assert_eq!(stats.blocks_dropped, b.len() as u64);
+        assert_eq!(s.stored_bytes(), bytes_before - stats.bytes_reclaimed);
+        assert_eq!(
+            s.compaction_totals(),
+            (stats.blocks_dropped, stats.bytes_reclaimed)
+        );
+        // Appends keep working through the re-opened active handle.
+        let tail = Block::assemble(
+            5,
+            a[4].hash(),
+            9_000,
+            AccountId::from_name("p"),
+            0,
+            vec![],
+        );
+        s.put(tail.clone()).unwrap();
+        assert_eq!(s.get(&tail.hash()).as_deref(), Some(&tail));
+        // Reopen: the rewritten segment files scan cleanly.
+        drop(s);
+        let s = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 256 }).unwrap();
+        for blk in &a {
+            assert_eq!(s.get(&blk.hash()).as_deref(), Some(blk));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pluggable block storage: in-memory, append-only file-backed, and (in
 //! [`crate::segment`]) tiered segment storage with a bounded hot set.
 
-use crate::block::{Block, BlockHash};
+use crate::block::{Block, BlockHash, Checkpoint};
 use crate::cache::LruCache;
 use blockprov_wire::frame::{frame_len, read_frame_from, write_frame_to, FRAME_OVERHEAD};
 use blockprov_wire::Codec;
@@ -11,6 +11,19 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
+
+/// What one compaction pass reclaimed (tombstone accounting, E3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Sealed segments examined.
+    pub segments_scanned: u32,
+    /// Sealed segments rewritten without their dropped blocks.
+    pub segments_rewritten: u32,
+    /// Stale-fork blocks dropped.
+    pub blocks_dropped: u64,
+    /// Bytes returned to the filesystem.
+    pub bytes_reclaimed: u64,
+}
 
 /// Backing storage for blocks (forks included).
 ///
@@ -55,6 +68,15 @@ pub trait BlockStore: Send {
     /// memory *is* the only tier ignore the hint — dropping the block would
     /// lose it.
     fn demote(&mut self, _hash: &BlockHash) {}
+
+    /// Reclaim storage held by blocks on forks pruned by the finality
+    /// `checkpoint`: a block survives iff it lies on the canonical chain at
+    /// or below the checkpoint, or descends from the checkpoint block.
+    /// Stores without a reclaimable layout (in-memory, single-log) keep
+    /// everything and report nothing reclaimed.
+    fn compact(&mut self, _checkpoint: &Checkpoint) -> std::io::Result<CompactionStats> {
+        Ok(CompactionStats::default())
+    }
 
     /// Visit every stored block, parents before children.
     ///

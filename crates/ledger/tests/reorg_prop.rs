@@ -5,8 +5,11 @@
 
 use blockprov_ledger::block::{Block, BlockHash};
 use blockprov_ledger::chain::{Chain, ChainConfig, ValidationError};
+use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+use blockprov_ledger::store::MemStore;
 use blockprov_ledger::tx::{AccountId, Transaction};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One generated append attempt: which existing block to build on, and a
 /// small transaction batch. Low-entropy fields maximize collisions (same tx
@@ -30,7 +33,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// Drive a chain through `ops`, asserting index consistency after every
 /// successful append.
 fn run_sequence(config: ChainConfig, ops: &[Op]) -> Result<(), TestCaseError> {
-    let mut chain = Chain::new(config);
+    run_sequence_on(Chain::new(config), ops)
+}
+
+fn run_sequence_on(mut chain: Chain, ops: &[Op]) -> Result<(), TestCaseError> {
     // Pool of known block hashes to fork from (genesis included).
     let mut pool: Vec<BlockHash> = vec![chain.genesis()];
     for (i, op) in ops.iter().enumerate() {
@@ -108,5 +114,37 @@ proptest! {
     ) {
         let config = ChainConfig { finality_depth: Some(depth), ..ChainConfig::default() };
         run_sequence(config, &ops)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Spilled tier: finality flushes entries to a durable TxIndex with
+    /// deliberately tiny pages, so the two-tier merged queries (not just
+    /// the mutable maps) must keep agreeing with a from-scratch rebuild
+    /// while reorgs, duplicate tx ids and checkpoint spills interleave.
+    #[test]
+    fn two_tier_index_equals_rebuild_under_finality(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        depth in 1u64..6,
+    ) {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "blockprov-reorg-prop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let index = TxIndex::open(
+            &dir,
+            TxIndexConfig { partitions: 4, page_entries: 4, cached_pages: 4 },
+        )
+        .expect("open tx index");
+        let config = ChainConfig { finality_depth: Some(depth), ..ChainConfig::default() };
+        let chain = Chain::with_store_and_index(Box::new(MemStore::new()), index, config);
+        let result = run_sequence_on(chain, &ops);
+        let _ = std::fs::remove_dir_all(&dir);
+        result?;
     }
 }

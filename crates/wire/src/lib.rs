@@ -17,6 +17,7 @@
 //! should be explicit in the source.
 
 pub mod frame;
+pub mod index;
 mod reader;
 mod writer;
 

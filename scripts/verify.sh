@@ -2,8 +2,10 @@
 # The single verification entrypoint shared by CI and local builds.
 #
 # Runs the tier-1 command from ROADMAP.md (release build + full test
-# suite) and additionally compiles every criterion bench target, so a
-# bench-only breakage cannot slip past review.
+# suite), compiles every criterion bench target so a bench-only breakage
+# cannot slip past review, and smoke-runs the ledger_scale bench (the
+# tiered-storage + spilled-index + compaction harness) so the scale
+# measurement path cannot silently rot either.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +17,11 @@ cargo test -q
 
 echo "== benches compile: cargo bench --no-run =="
 cargo bench --no-run
+
+echo "== bench smoke: cargo bench -p blockprov-bench --bench ledger_scale -- lookup =="
+# The filter trims the timing loops to the lookup groups; the one-shot
+# append/compaction measurements always run, which is the point — they
+# exercise the 100k-block tiered, spilled-index, and compaction paths.
+cargo bench -p blockprov-bench --bench ledger_scale -- lookup
 
 echo "verify.sh: all checks passed"

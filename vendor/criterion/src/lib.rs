@@ -11,12 +11,25 @@
 //! timing loop (warm-up, then enough iterations to fill a measurement
 //! window) and reports the median per-iteration wall-clock time, plus
 //! derived throughput when one was declared. Name filtering is honored:
-//! `cargo bench -- <substring>` runs only matching benchmarks. There is no
-//! statistical analysis, outlier rejection, or HTML report — swap the
-//! workspace `criterion` dependency back to crates.io for those.
+//! `cargo bench -- <substring>` runs only matching benchmarks.
+//!
+//! Baselines are honored too, mirroring real criterion's flags:
+//! `cargo bench -- --save-baseline <name>` records every median to
+//! `target/criterion-baselines/<name>.tsv` at the workspace root, and
+//! `cargo bench -- --baseline <name>` compares the run against a saved
+//! baseline, printing per-benchmark deltas and **failing the process**
+//! (exit 1) when any median regresses by more than the allowed percentage
+//! (`CRITERION_REGRESSION_PCT`, default 30). That makes perf claims in PRs
+//! mechanically checkable. There is still no statistical analysis, outlier
+//! rejection, or HTML report — swap the workspace `criterion` dependency
+//! back to crates.io for those.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
@@ -244,6 +257,173 @@ impl Default for Settings {
     }
 }
 
+/// Parsed benchmark CLI: filter plus baseline flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Cli {
+    /// Substring filter (`cargo bench -- <substring>`).
+    filter: Option<String>,
+    /// `--save-baseline <name>`: record this run's medians.
+    save_baseline: Option<String>,
+    /// `--baseline <name>`: compare against a saved run, fail on regression.
+    baseline: Option<String>,
+    /// Cargo passes `--bench` only in bench mode; without it (e.g.
+    /// `cargo test --benches`) each benchmark runs once, as upstream does.
+    bench_mode: bool,
+}
+
+fn parse_cli<I: Iterator<Item = String>>(args: I) -> Cli {
+    let mut cli = Cli::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--bench" {
+            cli.bench_mode = true;
+        } else if arg == "--save-baseline" {
+            cli.save_baseline = args.next();
+        } else if let Some(name) = arg.strip_prefix("--save-baseline=") {
+            cli.save_baseline = Some(name.to_string());
+        } else if arg == "--baseline" {
+            cli.baseline = args.next();
+        } else if let Some(name) = arg.strip_prefix("--baseline=") {
+            cli.baseline = Some(name.to_string());
+        } else if !arg.starts_with('-') && cli.filter.is_none() {
+            cli.filter = Some(arg);
+        }
+    }
+    cli
+}
+
+fn cli() -> &'static Cli {
+    static CLI: OnceLock<Cli> = OnceLock::new();
+    CLI.get_or_init(|| parse_cli(std::env::args().skip(1)))
+}
+
+/// Medians recorded this process, in run order, for baseline save/compare.
+fn results() -> &'static Mutex<Vec<(String, u128)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, u128)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Where baselines live: `CRITERION_BASELINE_DIR`, else
+/// `<workspace root>/target/criterion-baselines` (found by walking up to
+/// the nearest `Cargo.lock`), else `target/criterion-baselines` under cwd.
+fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CRITERION_BASELINE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("criterion-baselines");
+        }
+        if !cur.pop() {
+            return PathBuf::from("target/criterion-baselines");
+        }
+    }
+}
+
+fn save_baseline(name: &str, medians: &[(String, u128)]) -> std::io::Result<PathBuf> {
+    let dir = baseline_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.tsv"));
+    let mut f = std::fs::File::create(&path)?;
+    for (bench, ns) in medians {
+        writeln!(f, "{bench}\t{ns}")?;
+    }
+    Ok(path)
+}
+
+fn load_baseline(name: &str) -> std::io::Result<HashMap<String, u128>> {
+    let path = baseline_dir().join(format!("{name}.tsv"));
+    let text = std::fs::read_to_string(&path)?;
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if let Some((bench, ns)) = line.rsplit_once('\t') {
+            if let Ok(ns) = ns.trim().parse::<u128>() {
+                out.insert(bench.to_string(), ns);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Maximum tolerated median regression, percent.
+fn regression_threshold_pct() -> f64 {
+    std::env::var("CRITERION_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0)
+}
+
+/// Compare a run against a baseline; returns human-readable lines for every
+/// benchmark and the subset that regressed beyond `threshold_pct`.
+fn compare_medians(
+    current: &[(String, u128)],
+    baseline: &HashMap<String, u128>,
+    threshold_pct: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut report = Vec::new();
+    let mut regressions = Vec::new();
+    for (bench, ns) in current {
+        match baseline.get(bench) {
+            Some(&base_ns) if base_ns > 0 => {
+                let delta = (*ns as f64 - base_ns as f64) / base_ns as f64 * 100.0;
+                let verdict = if delta > threshold_pct {
+                    regressions.push(format!("{bench}: {base_ns} ns → {ns} ns ({delta:+.1}%)"));
+                    "REGRESSED"
+                } else if delta < -threshold_pct {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                report.push(format!(
+                    "baseline: {bench:<52} {base_ns:>10} ns → {ns:>10} ns  {delta:+7.1}%  {verdict}"
+                ));
+            }
+            _ => report.push(format!("baseline: {bench:<52} (new benchmark, no baseline)")),
+        }
+    }
+    (report, regressions)
+}
+
+/// Save/compare this run's medians per the CLI flags. Called by
+/// [`criterion_main!`] after every group has run; exits non-zero when a
+/// `--baseline` comparison finds a regression beyond the threshold.
+pub fn finalize() {
+    let cli = cli();
+    let medians = results().lock().expect("results lock").clone();
+    if let Some(name) = &cli.save_baseline {
+        match save_baseline(name, &medians) {
+            Ok(path) => println!("baseline '{name}' saved: {} ({} benchmarks)", path.display(), medians.len()),
+            Err(e) => eprintln!("failed to save baseline '{name}': {e}"),
+        }
+    }
+    if let Some(name) = &cli.baseline {
+        let baseline = match load_baseline(name) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to load baseline '{name}': {e}");
+                std::process::exit(1);
+            }
+        };
+        let threshold = regression_threshold_pct();
+        let (report, regressions) = compare_medians(&medians, &baseline, threshold);
+        for line in &report {
+            println!("{line}");
+        }
+        if !regressions.is_empty() {
+            eprintln!(
+                "{} benchmark(s) regressed beyond {threshold}% against baseline '{name}':",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("baseline '{name}': no median regression beyond {threshold}%");
+    }
+}
+
 /// The benchmark manager: entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     settings: Settings,
@@ -252,15 +432,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        // Honor `cargo bench -- <substring>`: the first free (non-flag)
-        // CLI argument filters benchmarks by name, as in real criterion.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
-        // Cargo passes `--bench` only in bench mode. Without it (e.g.
-        // `cargo test --benches`) run each benchmark once, as upstream
-        // does, instead of a full timing loop per benchmark.
-        let settings = if std::env::args().any(|a| a == "--bench") {
+        let cli = cli();
+        let settings = if cli.bench_mode {
             Settings::default()
         } else {
             Settings {
@@ -268,7 +441,10 @@ impl Default for Criterion {
                 measurement: Duration::ZERO,
             }
         };
-        Criterion { settings, filter }
+        Criterion {
+            settings,
+            filter: cli.filter.clone(),
+        }
     }
 }
 
@@ -332,6 +508,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
                 line.push_str(&format!("  {:>14}", format_throughput(tp, per_iter)));
             }
             println!("{line}");
+            results()
+                .lock()
+                .expect("results lock")
+                .push((name.to_string(), per_iter.as_nanos()));
         }
         None => println!("bench: {name:<52} (no measurement recorded)"),
     }
@@ -416,11 +596,15 @@ macro_rules! criterion_group {
 }
 
 /// Define the bench `main`, mirroring `criterion::criterion_main!`.
+///
+/// After every group runs, [`finalize`] applies the `--save-baseline` /
+/// `--baseline` flags (and exits non-zero on a median regression).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)*) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -442,6 +626,92 @@ mod tests {
     fn benchmark_id_renders_both_parts() {
         assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn cli_parses_filters_and_baseline_flags() {
+        fn args<'a>(v: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+            v.iter().map(|s| s.to_string())
+        }
+        assert_eq!(
+            parse_cli(args(&["--bench", "lookup"])),
+            Cli {
+                filter: Some("lookup".into()),
+                bench_mode: true,
+                ..Cli::default()
+            }
+        );
+        assert_eq!(
+            parse_cli(args(&["--bench", "--save-baseline", "main", "scan"])),
+            Cli {
+                filter: Some("scan".into()),
+                save_baseline: Some("main".into()),
+                bench_mode: true,
+                ..Cli::default()
+            }
+        );
+        assert_eq!(
+            parse_cli(args(&["--baseline=pr", "--bench"])),
+            Cli {
+                baseline: Some("pr".into()),
+                bench_mode: true,
+                ..Cli::default()
+            }
+        );
+        // A baseline name must not be mistaken for the filter.
+        assert_eq!(parse_cli(args(&["--baseline", "main"])).filter, None);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_detects_regressions() {
+        let dir = std::env::temp_dir().join(format!(
+            "criterion-baseline-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let medians = vec![
+            ("group/fast".to_string(), 1_000u128),
+            ("group/slow".to_string(), 50_000u128),
+        ];
+        // Round-trip through the on-disk format (path built directly so
+        // the test does not depend on the process env).
+        let path = dir.join("main.tsv");
+        let mut f = std::fs::File::create(&path).unwrap();
+        for (b, ns) in &medians {
+            writeln!(f, "{b}\t{ns}").unwrap();
+        }
+        drop(f);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut loaded = HashMap::new();
+        for line in text.lines() {
+            let (b, ns) = line.rsplit_once('\t').unwrap();
+            loaded.insert(b.to_string(), ns.parse::<u128>().unwrap());
+        }
+        assert_eq!(loaded.len(), 2);
+
+        // Within threshold: no regression.
+        let current = vec![
+            ("group/fast".to_string(), 1_100u128),
+            ("group/slow".to_string(), 40_000u128),
+        ];
+        let (report, regressions) = compare_medians(&current, &loaded, 30.0);
+        assert_eq!(report.len(), 2);
+        assert!(regressions.is_empty());
+
+        // 2x slower: regression flagged.
+        let current = vec![("group/fast".to_string(), 2_000u128)];
+        let (_, regressions) = compare_medians(&current, &loaded, 30.0);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("group/fast"));
+
+        // Unknown benchmark: reported as new, never a regression.
+        let current = vec![("group/brand-new".to_string(), 99u128)];
+        let (report, regressions) = compare_medians(&current, &loaded, 30.0);
+        assert!(report[0].contains("no baseline"));
+        assert!(regressions.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

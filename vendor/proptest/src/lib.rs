@@ -16,11 +16,17 @@
 //! * [`ProptestConfig::with_cases`].
 //!
 //! Unlike a mock, cases really are generated from a deterministic per-test
-//! RNG and assertions really fail the test. Known gaps versus upstream:
+//! RNG and assertions really fail the test, and failing inputs are
+//! **greedily shrunk**: integers step toward zero (or the range floor),
+//! vectors and strings halve and drop elements, tuples shrink one slot at a
+//! time, and the failure report carries the minimal input alongside the
+//! replay seed. Known gaps versus upstream:
 //!
-//! * **no shrinking** — a failing case reports the replay seed (panics in
-//!   the case body are caught and re-reported with the seed too), but the
-//!   input is not minimized;
+//! * **greedy, not tree-based shrinking** — candidates come from
+//!   [`Strategy::shrink`] and the runner takes the first that still fails
+//!   (bounded evaluation budget), so the reported input is a local minimum;
+//!   `prop_map`-derived strategies (e.g. `prop_compose!`) do not shrink
+//!   through the mapping;
 //! * **narrower distributions** — `any::<char>()` is printable ASCII, and
 //!   `any::<f64>()` mixes wide-magnitude finite values with an overweighted
 //!   edge set (±0.0, NaN, ±∞, `MIN_POSITIVE`, `MAX`, `MIN`) rather than
@@ -100,11 +106,39 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Shrink structurally first — halve, drop the last element — down
+        /// to the minimum size, then element-wise through the element
+        /// strategy (so a `vec` of integers converges toward zeros).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let n = value.len();
+            let lo = self.size.lo;
+            let mut out: Vec<Self::Value> = Vec::new();
+            if n > lo {
+                let half = (n / 2).max(lo);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 > half {
+                    out.push(value[..n - 1].to_vec());
+                }
+            }
+            for (i, elem) in value.iter().enumerate().take(64) {
+                for cand in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -265,9 +299,8 @@ macro_rules! __proptest_with_config {
                 $crate::test_runner::run_cases(
                     &config,
                     concat!(module_path!(), "::", stringify!($name)),
-                    |rng| {
-                        let ($($arg_pat,)+) =
-                            $crate::Strategy::generate(&strategy, rng);
+                    &strategy,
+                    |($($arg_pat,)+)| {
                         $body
                         Ok(())
                     },
@@ -458,6 +491,66 @@ mod tests {
             }
             prop_assume!(flag || !flag);
         }
+    }
+
+    // Deliberately failing properties, wrapped in catch_unwind by the
+    // shrinking tests below: the panic message must carry the *minimal*
+    // failing input, not just a replay seed.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn fails_at_17_or_more(v in 0u64..1000) {
+            prop_assert!(v < 17);
+        }
+
+        fn fails_on_len_5_or_more(xs in prop::collection::vec(any::<u8>(), 0..40)) {
+            prop_assert!(xs.len() < 5);
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let payload = std::panic::catch_unwind(f).expect_err("property must fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a String message")
+    }
+
+    #[test]
+    fn shrinking_minimizes_integers_toward_the_floor() {
+        let msg = failure_message(fails_at_17_or_more);
+        assert!(
+            msg.contains("minimal failing input"),
+            "no shrink report in: {msg}"
+        );
+        assert!(
+            msg.contains("(17,)"),
+            "expected the minimal counterexample 17, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_halves_vecs_and_zeroes_elements() {
+        let msg = failure_message(fails_on_len_5_or_more);
+        assert!(
+            msg.contains("[0, 0, 0, 0, 0]"),
+            "expected the minimal 5-element zero vec, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn integer_shrink_candidates_move_toward_zero() {
+        assert_eq!(<u64 as Arbitrary>::shrink(&0), Vec::<u64>::new());
+        assert_eq!(<u64 as Arbitrary>::shrink(&10), vec![0, 5, 9]);
+        assert_eq!(<i64 as Arbitrary>::shrink(&-10), vec![0, -5, -9]);
+        // Range strategies respect their floor instead of zero.
+        assert_eq!(Strategy::shrink(&(5u64..100), &9), vec![5, 7, 8]);
+        assert!(Strategy::shrink(&(5u64..100), &5).is_empty());
+        // Signed ranges clamp the target into range (here: floor 3).
+        assert_eq!(Strategy::shrink(&(3i64..100), &3), Vec::<i64>::new());
+        assert!(Strategy::shrink(&(3i64..100), &10).contains(&3));
+        // Extremes must not overflow.
+        let _ = Strategy::shrink(&(i64::MIN..=i64::MAX), &i64::MIN);
     }
 
     prop_compose! {

@@ -7,14 +7,24 @@ use std::ops::{Range, RangeInclusive};
 
 /// A generator of values of one type, driven by the test RNG.
 ///
-/// This mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
-/// replaces `new_tree` + simplification.
+/// This mirrors `proptest::strategy::Strategy` with a simplified shrinking
+/// model: instead of upstream's lazy value trees, [`Strategy::shrink`]
+/// proposes a batch of strictly-simpler candidates for a failing value and
+/// the runner greedily descends while the property keeps failing.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest-first: integers step
+    /// toward zero (or the range floor), vectors halve and drop elements.
+    /// The default — no candidates — makes a strategy unshrinkable, which
+    /// is always sound (failures then report the generated value as-is).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -55,6 +65,9 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -90,6 +103,14 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Simplify through the inner strategy, keeping the predicate true.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
 /// Always produce a clone of one value (mirrors `proptest::strategy::Just`).
@@ -123,12 +144,21 @@ impl<V> Strategy for Union<V> {
         let idx = (rng.next_u64() as usize) % self.options.len();
         self.options[idx].generate(rng)
     }
+    // No shrinking: the producing branch is unknown, and another branch's
+    // simplification of the value (e.g. a different range's midpoint) can
+    // land outside every branch's domain — the runner would then report a
+    // "minimal" input the strategy can never generate.
 }
 
 /// Types with a canonical "anything" strategy, used by [`any`].
 pub trait Arbitrary: Sized {
     /// Generate an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications (see [`Strategy::shrink`]). Default: none.
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
@@ -145,6 +175,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 macro_rules! arbitrary_int {
@@ -153,6 +186,25 @@ macro_rules! arbitrary_int {
             impl Arbitrary for $ty {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.next_u128() as $ty
+                }
+                /// Greedy candidates toward zero: 0 itself, the midpoint,
+                /// and one unit closer.
+                #[allow(unused_comparisons)]
+                fn shrink(value: &Self) -> Vec<Self> {
+                    let v = *value;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0 as $ty];
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                    out
                 }
             }
         )*
@@ -164,6 +216,13 @@ arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -214,6 +273,26 @@ impl Arbitrary for char {
     }
 }
 
+/// Shrink an unsigned in-range value toward the range floor `lo`.
+fn shrink_toward_floor<T>(v: T, lo: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + core::ops::Sub<Output = T> + core::ops::Add<Output = T> + core::ops::Div<Output = T> + From<u8>,
+{
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (v - lo) / T::from(2u8);
+    if mid > lo && mid < v {
+        out.push(mid);
+    }
+    let step = v - T::from(1u8);
+    if step > lo && step != mid {
+        out.push(step);
+    }
+    out
+}
+
 macro_rules! range_strategy {
     ($($ty:ty),*) => {
         $(
@@ -223,6 +302,9 @@ macro_rules! range_strategy {
                     assert!(self.end > self.start, "empty range strategy");
                     let span = (self.end - self.start) as u128;
                     self.start + (rng.next_u128() % span) as $ty
+                }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward_floor(*value, self.start)
                 }
             }
 
@@ -238,12 +320,34 @@ macro_rules! range_strategy {
                     }
                     lo + (rng.next_u128() % span) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward_floor(*value, *self.start())
+                }
             }
         )*
     };
 }
 
 range_strategy!(u8, u16, u32, u64, usize);
+
+/// Shrink a signed in-range value toward zero (clamped into `[lo, hi]`).
+/// i128 arithmetic sidesteps midpoint/step overflow at the type extremes.
+fn shrink_signed_toward_zero(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    let target = 0i128.clamp(lo, hi);
+    if v == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mid = (v + target) / 2;
+    if mid != target && mid != v {
+        out.push(mid);
+    }
+    let step = if v > target { v - 1 } else { v + 1 };
+    if step != target && step != mid {
+        out.push(step);
+    }
+    out
+}
 
 macro_rules! signed_range_strategy {
     ($($ty:ty : $via:ty : $uvia:ty),*) => {
@@ -260,6 +364,16 @@ macro_rules! signed_range_strategy {
                     let offset = (rng.next_u128() % span) as $uvia as $via;
                     ((self.start as $via).wrapping_add(offset)) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_signed_toward_zero(
+                        *value as i128,
+                        self.start as i128,
+                        self.end as i128 - 1,
+                    )
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+                }
             }
 
             impl Strategy for RangeInclusive<$ty> {
@@ -270,6 +384,16 @@ macro_rules! signed_range_strategy {
                     let span = ((hi as $via).wrapping_sub(lo as $via) as $uvia as u128) + 1;
                     let offset = (rng.next_u128() % span) as $uvia as $via;
                     ((lo as $via).wrapping_add(offset)) as $ty
+                }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_signed_toward_zero(
+                        *value as i128,
+                        *self.start() as i128,
+                        *self.end() as i128,
+                    )
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
                 }
             }
         )*
@@ -297,14 +421,29 @@ macro_rules! float_range_strategy {
 float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+))*) => {
+    ($(($($name:ident $idx:tt),+))*) => {
         $(
-            #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            // Component values must be `Clone` so shrinking can rebuild the
+            // tuple with a single slot simplified; every strategy the
+            // workspace composes generates `Clone` values.
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*
@@ -312,16 +451,16 @@ macro_rules! tuple_strategy {
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
-    (A, B, C, D, E, F, G)
-    (A, B, C, D, E, F, G, H)
-    (A, B, C, D, E, F, G, H, I)
-    (A, B, C, D, E, F, G, H, I, J)
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
 }
 
 /// String literals are regex-lite string strategies: `"[a-z]{1,12}"`.
@@ -341,6 +480,32 @@ impl Strategy for &str {
             for _ in 0..n {
                 out.push(atom.class.pick(rng));
             }
+        }
+        out
+    }
+    /// Shrink by truncation down to the pattern's minimum length (halve,
+    /// then drop one character) — but only for *single-atom* patterns
+    /// (`"[a-z]{1,12}"`, `"\PC{0,200}"`, …), where any in-bounds prefix is
+    /// itself a generatable instance. A multi-atom pattern's prefix can
+    /// drop a required later atom entirely, producing a "minimal" input
+    /// the strategy can never generate, so those do not shrink.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let atoms = parse_pattern(self);
+        if atoms.len() != 1 {
+            return Vec::new();
+        }
+        let min_len: usize = atoms.iter().map(|a| a.reps.lo as usize).sum();
+        let n = value.chars().count();
+        if n <= min_len {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let half = (n / 2).max(min_len);
+        if half < n {
+            out.push(value.chars().take(half).collect());
+        }
+        if n - 1 > half {
+            out.push(value.chars().take(n - 1).collect());
         }
         out
     }
