@@ -195,7 +195,7 @@ impl ViewManager {
         }
         let mut out = Vec::new();
         for hash in chain.canonical_hashes() {
-            let block = chain.block(hash).expect("canonical block stored");
+            let block = chain.block(&hash).expect("canonical block stored");
             for tx in &block.txs {
                 if view.filter.matches(tx) {
                     out.push(tx.clone());

@@ -17,8 +17,9 @@
 use blockprov_ledger::block::Block;
 use blockprov_ledger::chain::{Chain, ChainConfig};
 use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+use blockprov_ledger::meta::{MetaConfig, MetaStore};
 use blockprov_ledger::segment::{SegmentConfig, TieredConfig, TieredStore};
-use blockprov_ledger::store::MemStore;
+use blockprov_ledger::store::{BlockStore, MemStore};
 use blockprov_ledger::tx::{AccountId, Transaction, TxId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -98,13 +99,97 @@ fn spilled_chain(dir: &std::path::Path) -> Chain {
             partitions: 16,
             page_entries: 64,
             cached_pages: 8,
+            ..TxIndexConfig::default()
         },
     )
     .expect("open tx index");
     Chain::with_store_and_index(Box::new(store), index, chain_config())
 }
 
-/// One-shot 100k-block append measurement for all three backends (a
+fn meta_tier_store(dir: &std::path::Path) -> Box<dyn BlockStore> {
+    Box::new(
+        TieredStore::open(
+            dir.join("blocks"),
+            TieredConfig {
+                segment: SegmentConfig {
+                    segment_bytes: 8 * 1024 * 1024,
+                },
+                hot_capacity: HOT_CAPACITY,
+            },
+        )
+        .expect("open tiered store"),
+    )
+}
+
+fn meta_tier_index(dir: &std::path::Path) -> TxIndex {
+    TxIndex::open(dir.join("txindex"), TxIndexConfig::default()).expect("open tx index")
+}
+
+fn meta_tier_meta(dir: &std::path::Path) -> MetaStore {
+    MetaStore::open(dir.join("meta"), MetaConfig::default()).expect("open meta store")
+}
+
+/// The fourth backend: all three durable tiers (blocks, tx index, chain
+/// metadata) — the bounded-resident-memory configuration.
+fn meta_chain(dir: &std::path::Path) -> Chain {
+    Chain::with_tiers(
+        meta_tier_store(dir),
+        Some(meta_tier_index(dir)),
+        meta_tier_meta(dir),
+        chain_config(),
+    )
+}
+
+/// Resident per-block metadata entries/bytes for one backend, one line.
+fn report_resident_metadata(label: &str, chain: &Chain) {
+    let r = chain.resident_metadata();
+    println!(
+        "ledger_scale resident metadata [{label}]: {} entries ≈ {} bytes \
+         (meta {} / canonical {} / nonce {}+{} / undo {} / at_height {})",
+        r.total(),
+        r.approx_bytes(),
+        r.meta,
+        r.canonical,
+        r.next_nonce,
+        r.nonce_floor,
+        r.undo,
+        r.at_height,
+    );
+}
+
+/// One-shot cold-start measurement over the meta-tier directory:
+/// replay-from-snapshot (fast start) vs full replay of the same history.
+fn report_cold_start(dir: &std::path::Path) {
+    let t = Instant::now();
+    let fast = Chain::replay_with_tiers(
+        meta_tier_store(dir),
+        Some(meta_tier_index(dir)),
+        meta_tier_meta(dir),
+        chain_config(),
+    )
+    .expect("fast start");
+    let fast_t = t.elapsed();
+    let fast_appended = fast.appended_blocks();
+    let tip = fast.tip();
+    drop(fast);
+
+    let t = Instant::now();
+    let full = Chain::replay_with_index(meta_tier_store(dir), meta_tier_index(dir), chain_config())
+        .expect("full replay");
+    let full_t = t.elapsed();
+    assert_eq!(full.tip(), tip, "both cold starts must agree on the tip");
+    println!(
+        "ledger_scale cold start @ {SCALE_BLOCKS} blocks: snapshot fast-start {:.2?} \
+         (re-absorbed {} blocks) vs full replay {:.2?} ({} blocks) — {:.1}x",
+        fast_t,
+        fast_appended,
+        full_t,
+        full.appended_blocks(),
+        full_t.as_secs_f64() / fast_t.as_secs_f64().max(1e-9),
+    );
+}
+
+/// One-shot 100k-block append measurement for all four backends (a
 /// measurement, not a timing loop — printed once, `storage_dedup` style).
 #[allow(clippy::type_complexity)]
 fn report_append_throughput() -> (
@@ -164,7 +249,32 @@ fn report_append_throughput() -> (
         ix.partition_count(),
         ix.stored_bytes(),
     );
-    (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, vec![dir, sdir])
+    // Fourth backend: + metadata tier (height map, nonce floor, snapshot
+    // per finality advance). Reports the bounded-residency numbers and the
+    // cold-start comparison, then drops — the lookup loops below already
+    // cover the shared two-tier query paths.
+    let mdir = tiered_dir("meta");
+    let mut metad = meta_chain(&mdir);
+    let (meta_ids, meta_t) = grow(&mut metad, SCALE_BLOCKS);
+    let _ = meta_ids;
+    println!(
+        "ledger_scale append [Tiered+TxIndex+Meta]: {SCALE_BLOCKS} blocks in {:.2?} \
+         ({:.0} blocks/s), height-map {} pages / {} bytes, snapshot every {} advances",
+        meta_t,
+        SCALE_BLOCKS as f64 / meta_t.as_secs_f64(),
+        metad.meta_tier().expect("meta tier").height_map().page_count(),
+        metad.meta_tier().expect("meta tier").height_map().stored_bytes(),
+        metad.meta_tier().expect("meta tier").config().snapshot_interval,
+    );
+    report_resident_metadata("MemStore", &mem);
+    report_resident_metadata("TieredStore", &tiered);
+    report_resident_metadata("Tiered+TxIndex", &spilled);
+    report_resident_metadata("Tiered+TxIndex+Meta", &metad);
+    metad.sync_meta().expect("sync meta");
+    drop(metad);
+    report_cold_start(&mdir);
+
+    (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, vec![dir, sdir, mdir])
 }
 
 /// One-shot compaction measurement: a fork-heavy history over tiny

@@ -190,6 +190,27 @@ impl ProvenanceLedger {
         Self::finish_open(config, chain)
     }
 
+    /// [`ProvenanceLedger::open_with_store_and_index`] plus the durable
+    /// metadata tier (see [`blockprov_ledger::meta::MetaStore`]).
+    ///
+    /// The chain consumes the checkpoint snapshot and height map: when a
+    /// snapshot is present, cold start re-validates only the non-finalized
+    /// suffix (blocks above the checkpoint) instead of re-absorbing all of
+    /// history, resident chain metadata stays O(finality window + live
+    /// forks), and a snapshot that contradicts the block store fails the
+    /// open loudly. Provenance-graph rehydration still walks the (durable)
+    /// provenance-kind index entries, exactly as before.
+    pub fn open_with_tiers(
+        config: LedgerConfig,
+        store: Box<dyn blockprov_ledger::store::BlockStore>,
+        index: blockprov_ledger::index::TxIndex,
+        meta: blockprov_ledger::meta::MetaStore,
+    ) -> std::io::Result<Self> {
+        let chain =
+            Chain::replay_with_tiers(store, Some(index), meta, Self::chain_config(&config))?;
+        Self::finish_open(config, chain)
+    }
+
     fn finish_open(config: LedgerConfig, chain: Chain) -> std::io::Result<Self> {
         let mut ledger = Self::assemble(config, chain);
         ledger.rehydrate_provenance().map_err(|e| {
@@ -788,6 +809,7 @@ mod tests {
             partitions: 4,
             page_entries: 8,
             cached_pages: 8,
+            ..TxIndexConfig::default()
         };
         let open = |config: &LedgerConfig| {
             ProvenanceLedger::open_with_store_and_index(
@@ -837,6 +859,84 @@ mod tests {
         let record = l.record(&rid).unwrap().clone();
         assert!(l.prove_record(&rid).unwrap().verify(&record));
         // Nonces continue, so new operations seal cleanly.
+        let alice = l.register_agent("alice").unwrap();
+        l.apply_operation(&alice, "f-new", Action::Create, b"y")
+            .unwrap();
+        l.seal_block().unwrap();
+        l.verify_chain().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_over_all_three_tiers_fast_starts_from_snapshot() {
+        use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+        use blockprov_ledger::meta::{MetaConfig, MetaStore};
+        let dir = temp_dir("tiers");
+        let config = LedgerConfig::private_default().with_finality(4);
+        let index_config = TxIndexConfig {
+            partitions: 4,
+            page_entries: 8,
+            cached_pages: 8,
+            ..TxIndexConfig::default()
+        };
+        let meta_config = MetaConfig {
+            page_heights: 8,
+            cached_pages: 4,
+            ..MetaConfig::default()
+        };
+        let open = |config: &LedgerConfig| {
+            ProvenanceLedger::open_with_tiers(
+                config.clone(),
+                tiered_store(&dir),
+                TxIndex::open(dir.join("txindex"), index_config).unwrap(),
+                MetaStore::open(dir.join("meta"), meta_config).unwrap(),
+            )
+            .unwrap()
+        };
+        let (rid, tip, height);
+        {
+            let mut l = open(&config);
+            let alice = l.register_agent("alice").unwrap();
+            l.register_entity("report.pdf", b"v1").unwrap();
+            rid = l
+                .apply_operation(&alice, "report.pdf", Action::Update, b"v2")
+                .unwrap();
+            l.seal_block().unwrap();
+            for i in 0..24 {
+                l.apply_operation(&alice, &format!("f{i}"), Action::Create, b"x")
+                    .unwrap();
+                l.seal_block().unwrap();
+            }
+            // Resident chain metadata is bounded by the finality window,
+            // not history.
+            let r = l.chain().resident_metadata();
+            let suffix = l.chain().height() - l.chain().finalized_height();
+            assert!(
+                (r.canonical as u64) == suffix + 1,
+                "canonical suffix {} vs window {suffix}",
+                r.canonical
+            );
+            tip = l.chain().tip();
+            height = l.chain().height();
+        }
+
+        // Restart: the chain fast-starts from the snapshot — only the
+        // non-finalized suffix is re-validated — while provenance state
+        // rehydrates from the durable index as before.
+        let mut l = open(&config);
+        assert_eq!(l.chain().tip(), tip);
+        assert_eq!(l.chain().height(), height);
+        assert!(
+            l.chain().appended_blocks() <= 5,
+            "fast start re-absorbed {} blocks",
+            l.chain().appended_blocks()
+        );
+        l.verify_chain().unwrap();
+        let res = l.query(&ProvQuery::BySubject("report.pdf".into()));
+        assert_eq!(res.ids.len(), 2);
+        let record = l.record(&rid).unwrap().clone();
+        assert!(l.prove_record(&rid).unwrap().verify(&record));
+        // Nonces continue across the fast start.
         let alice = l.register_agent("alice").unwrap();
         l.apply_operation(&alice, "f-new", Action::Create, b"y")
             .unwrap();

@@ -245,11 +245,7 @@ impl ChainConnector for RelayConnector {
             .append(block)
             .map_err(|e| InteropError::TransferFailed(format!("append: {e:?}")))?;
         // Ship the new header to the relay.
-        let tip_hash = *self
-            .source
-            .canonical_hashes()
-            .last()
-            .expect("chain nonempty after append");
+        let tip_hash = self.source.tip();
         let header = self.source.block(&tip_hash).expect("tip block").header.clone();
         self.relay
             .submit_header(&self.chain_id, header)

@@ -166,7 +166,7 @@ mod tests {
     fn relay_all(relay: &mut RelayChain, id: &str, chain: &Chain) {
         relay.register_chain(id);
         for hash in chain.canonical_hashes() {
-            let header = chain.block(hash).unwrap().header.clone();
+            let header = chain.block(&hash).unwrap().header.clone();
             relay.submit_header(id, header).unwrap();
         }
     }

@@ -11,12 +11,14 @@
 //! paired with [`crate::segment::TieredStore`].
 
 use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
-use crate::index::{IndexEntry, TxIndex};
+use crate::index::{IndexEntry, MergeStats, TxIndex};
+use crate::meta::MetaStore;
 use crate::store::{BlockStore, CompactionStats, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
 use blockprov_crypto::sha256::Hash256;
-use std::collections::{HashMap, HashSet, VecDeque};
+use blockprov_wire::meta::{CheckpointSnapshot, META_VERSION};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -184,6 +186,9 @@ struct TxUndo {
     id: TxId,
     author: AccountId,
     kind: u16,
+    /// The transaction's own nonce — at finality this raises the author's
+    /// durable nonce floor without re-reading the block.
+    nonce: u64,
     /// Previous canonical location of this id (normally `None`; `Some` when
     /// the same id also appears in an earlier canonical block).
     prev_loc: Option<(BlockHash, u32)>,
@@ -235,6 +240,7 @@ impl ChainIndex {
                 id,
                 author: tx.author,
                 kind: tx.kind,
+                nonce: tx.nonce,
                 prev_loc,
                 prev_nonce,
             });
@@ -283,9 +289,16 @@ impl ChainIndex {
     /// Drop one *finalized* block's entries from the mutable tier after they
     /// were flushed to the durable [`TxIndex`]. Spilling runs in canonical
     /// order (oldest block first), so each transaction is the current front
-    /// of its author/kind deques. Nonce state is consensus state, not a
-    /// query index, and stays resident.
-    fn spill(&mut self, hash: BlockHash, undo: &BlockUndo) {
+    /// of its author/kind deques.
+    ///
+    /// With `prune_nonces` (a metadata tier is attached and the durable
+    /// nonce floor was already raised by this block's transactions), an
+    /// author whose last suffix transaction just spilled also loses their
+    /// mutable `next_nonce` entry: the floor covers every finalized
+    /// transaction, so for an author with no suffix transactions left the
+    /// floor is at least the mutable value. Without a metadata tier nonce
+    /// state stays resident (there is nowhere durable to serve it from).
+    fn spill(&mut self, hash: BlockHash, undo: &BlockUndo, prune_nonces: bool) {
         for (i, u) in undo.txs.iter().enumerate() {
             // A later canonical block may have re-sealed the same id and
             // overwritten `tx_loc`; only remove the entry this block owns.
@@ -307,11 +320,57 @@ impl ChainIndex {
                 }
             }
         }
+        if prune_nonces {
+            for u in &undo.txs {
+                if !self.by_author.contains_key(&u.author) {
+                    self.next_nonce.remove(&u.author);
+                }
+            }
+        }
     }
 
     /// Occurrence count across the author lists (one per canonical tx).
     fn resident_entries(&self) -> usize {
         self.by_author.values().map(VecDeque::len).sum()
+    }
+}
+
+/// Resident per-block chain metadata counts — what the bounded-memory
+/// story is about (ROADMAP: ~80 bytes per block without the durable tier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentMetadata {
+    /// Fork-choice metadata entries (`meta`): non-finalized blocks plus the
+    /// checkpoint when a metadata tier prunes the finalized prefix.
+    pub meta: usize,
+    /// In-memory canonical height→hash entries (the suffix above the
+    /// checkpoint when a metadata tier is attached, all of history else).
+    pub canonical: usize,
+    /// Mutable per-author `next_nonce` entries (suffix authors when both
+    /// durable tiers are attached).
+    pub next_nonce: usize,
+    /// Durable nonce-floor entries (distinct finalized authors; persisted
+    /// in every snapshot, resident for O(1) validation).
+    pub nonce_floor: usize,
+    /// Reorg undo records (always bounded by the finality window).
+    pub undo: usize,
+    /// Height-bucket entries for finality pruning.
+    pub at_height: usize,
+}
+
+impl ResidentMetadata {
+    /// Total resident entries across all per-block metadata structures.
+    pub fn total(&self) -> usize {
+        self.meta + self.canonical + self.next_nonce + self.nonce_floor + self.undo + self.at_height
+    }
+
+    /// Rough resident bytes (hash/account keys + fixed payloads; excludes
+    /// map overhead).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.meta * (32 + 56)
+            + self.canonical * 32
+            + (self.next_nonce + self.nonce_floor) * (32 + 8)
+            + self.undo * 32
+            + self.at_height * (8 + 32)) as u64
     }
 }
 
@@ -324,9 +383,16 @@ pub struct Chain {
     meta: HashMap<BlockHash, BlockMeta>,
     tip: BlockHash,
     genesis: BlockHash,
-    /// `canonical[h]` = canonical block hash at height `h`.
-    canonical: Vec<BlockHash>,
+    /// First height covered by the in-memory `canonical` suffix. Stays 0
+    /// without a metadata tier; tracks the finality checkpoint with one.
+    canonical_base: u64,
+    /// Canonical block hashes for heights `canonical_base..=height`.
+    canonical: VecDeque<BlockHash>,
     index: ChainIndex,
+    /// Durable per-author nonce floor over finalized history (persisted in
+    /// each snapshot). Only raised when a metadata tier is attached; the
+    /// two-tier [`Chain::next_nonce_for`] merges it with the mutable tier.
+    nonce_floor: HashMap<AccountId, u64>,
     /// Undo records for canonical blocks above the finality checkpoint —
     /// exactly the blocks a reorg may still un-absorb.
     undo: HashMap<BlockHash, BlockUndo>,
@@ -340,6 +406,19 @@ pub struct Chain {
     /// and the mutable [`ChainIndex`] then covers only the suffix. `None`
     /// keeps the PR 2 behavior (everything resident).
     tx_index: Option<TxIndex>,
+    /// Durable metadata tier: finalized height→hash entries and checkpoint
+    /// snapshots land here, and `meta`/`canonical`/`next_nonce` prune to
+    /// the non-finalized suffix. `None` keeps everything resident.
+    meta_tier: Option<MetaStore>,
+    /// Height through which the durable tx index was last fully synced
+    /// (recorded in snapshots; bounds crash-recovery re-derivation).
+    index_synced_height: u64,
+    /// Checkpoint height of the last written snapshot (amortizes snapshot
+    /// writes under `MetaConfig::snapshot_interval`).
+    last_snapshot_height: u64,
+    /// Blocks validated and appended since this instance was constructed —
+    /// a snapshot fast-start re-appends only the non-finalized suffix.
+    appended: u64,
 }
 
 impl Chain {
@@ -354,7 +433,7 @@ impl Chain {
     /// replayed — this constructor always starts a fresh lineage. Use
     /// [`Chain::replay`] to resume from a durable store.
     pub fn with_store(store: Box<dyn BlockStore>, config: ChainConfig) -> Self {
-        Self::with_optional_index(store, None, config)
+        Self::with_optional_tiers(store, None, None, config)
     }
 
     /// Create a chain over a custom store *and* a durable transaction
@@ -370,12 +449,29 @@ impl Chain {
         index: TxIndex,
         config: ChainConfig,
     ) -> Self {
-        Self::with_optional_index(store, Some(index), config)
+        Self::with_optional_tiers(store, Some(index), None, config)
     }
 
-    fn with_optional_index(
+    /// Create a chain over all three durable tiers: block store, durable
+    /// transaction index, and the metadata tier (height→hash map plus
+    /// checkpoint snapshots). Finality then prunes `meta`, the canonical
+    /// height vector and per-author nonces down to the non-finalized
+    /// suffix, leaving resident chain state O(finality window + live
+    /// forks) over unbounded history. Use [`Chain::replay_with_tiers`] to
+    /// resume from disk.
+    pub fn with_tiers(
+        store: Box<dyn BlockStore>,
+        index: Option<TxIndex>,
+        meta: MetaStore,
+        config: ChainConfig,
+    ) -> Self {
+        Self::with_optional_tiers(store, index, Some(meta), config)
+    }
+
+    fn with_optional_tiers(
         mut store: Box<dyn BlockStore>,
         tx_index: Option<TxIndex>,
+        mut meta_tier: Option<MetaStore>,
         config: ChainConfig,
     ) -> Self {
         let genesis_block = Self::genesis_block();
@@ -394,18 +490,39 @@ impl Chain {
         index.absorb(&arc);
         let mut at_height = HashMap::new();
         at_height.insert(0u64, vec![genesis]);
+        if let Some(meta_store) = &mut meta_tier {
+            // A fresh lineage starts its height map at genesis; a reused
+            // metadata directory must belong to the same lineage.
+            let map = meta_store.height_map_mut();
+            if map.is_empty() {
+                map.push(0, genesis).expect("height map genesis");
+            } else {
+                let at0 = map.hash_at(0).expect("height map readable");
+                assert_eq!(
+                    at0,
+                    Some(genesis),
+                    "metadata tier belongs to a different lineage"
+                );
+            }
+        }
         Self {
             config,
             store,
             meta,
             tip: genesis,
             genesis,
-            canonical: vec![genesis],
+            canonical_base: 0,
+            canonical: VecDeque::from([genesis]),
             index,
+            nonce_floor: HashMap::new(),
             undo: HashMap::new(),
             at_height,
             finalized_height: 0,
             tx_index,
+            meta_tier,
+            index_synced_height: 0,
+            last_snapshot_height: 0,
+            appended: 0,
         }
     }
 
@@ -418,7 +535,7 @@ impl Chain {
     /// Resident memory stays bounded by the store's hot tier: the scan only
     /// retains `(height, hash)` pairs, and bodies are fetched one at a time.
     pub fn replay(store: Box<dyn BlockStore>, config: ChainConfig) -> std::io::Result<Self> {
-        Self::replay_inner(store, None, config)
+        Self::replay_inner(store, None, None, config)
     }
 
     /// [`Chain::replay`] with a durable transaction index.
@@ -434,41 +551,293 @@ impl Chain {
         index: TxIndex,
         config: ChainConfig,
     ) -> std::io::Result<Self> {
-        Self::replay_inner(store, Some(index), config)
+        Self::replay_inner(store, Some(index), None, config)
+    }
+
+    /// Resume a chain from all three durable tiers.
+    ///
+    /// When the metadata tier holds a readable [`CheckpointSnapshot`], the
+    /// chain *fast-starts*: state is seeded from the checkpoint (height,
+    /// hash, nonce floor), finalized height→hash lookups come from the
+    /// durable height map, and only the non-finalized suffix is
+    /// re-validated and re-absorbed — cold-start cost is O(suffix), not
+    /// O(history). A torn height-map tail or a lost index tail is healed
+    /// from blocks (blocks stay authoritative); a snapshot that contradicts
+    /// the block store fails loudly. Without a usable snapshot this falls
+    /// back to a full replay, which rebuilds and rewrites the tier.
+    pub fn replay_with_tiers(
+        store: Box<dyn BlockStore>,
+        index: Option<TxIndex>,
+        meta: MetaStore,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
+        Self::replay_inner(store, index, Some(meta), config)
     }
 
     fn replay_inner(
         store: Box<dyn BlockStore>,
         index: Option<TxIndex>,
+        meta: Option<MetaStore>,
         config: ChainConfig,
     ) -> std::io::Result<Self> {
+        if let Some(meta_store) = &meta {
+            if let Some(snap) = meta_store.read_snapshot()? {
+                if snap.height > 0 {
+                    return Self::fast_start(
+                        store,
+                        index,
+                        meta.expect("checked above"),
+                        snap,
+                        config,
+                    );
+                }
+            }
+        }
         let mut order: Vec<(u64, BlockHash)> = Vec::new();
-        store.scan(&mut |b| order.push((b.header.height, b.hash())))?;
+        store.scan_headers(&mut |h, hash| order.push((h, hash)))?;
         // Stable sort: parents (strictly lower height) come first, original
         // append order is preserved within a height.
         order.sort_by_key(|&(h, _)| h);
-        let mut chain = Self::with_optional_index(store, index, config);
-        for (_, hash) in order {
-            if chain.meta.contains_key(&hash) {
-                continue; // genesis (or a duplicate frame)
+        let mut chain = Self::with_optional_tiers(store, index, meta, config);
+        chain.replay_all(order)?;
+        chain.sync_meta()?;
+        Ok(chain)
+    }
+
+    /// Re-append scanned blocks in height order, then check that skipping
+    /// orphans did not silently truncate the canonical chain.
+    fn replay_all(&mut self, order: Vec<(u64, BlockHash)>) -> std::io::Result<()> {
+        let mut max_orphan_height = 0u64;
+        for (h, hash) in order {
+            if self.replay_append(&hash)? {
+                max_orphan_height = max_orphan_height.max(h);
             }
-            let block = chain
-                .store
-                .get(&hash)
-                .ok_or_else(|| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("replay: scanned block {hash} missing from store"),
-                    )
+        }
+        // An orphan *above* the final tip can only be the descendant of a
+        // canonical block the store no longer holds — corruption, not
+        // stale-fork residue (a stale fork never outgrows the heaviest
+        // tip here). Crash leftovers from a mid-compaction rename sit at
+        // or below the tip and stay skippable.
+        if max_orphan_height > self.height() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "replay: canonical history truncated — a stored block at height \
+                     {max_orphan_height} has no ancestry but the replayed tip is at {}",
+                    self.height()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Re-append one scanned block during replay. Blocks that are provably
+    /// stale — duplicates, forks at or below the advancing checkpoint, and
+    /// blocks whose fork parents were pruned by finality during this very
+    /// replay — are skipped (compaction would have dropped them); any other
+    /// validation failure still fails the replay loudly. Returns whether
+    /// the block was skipped as an orphan (unknown parent), which the
+    /// caller audits against the final tip height.
+    fn replay_append(&mut self, hash: &BlockHash) -> std::io::Result<bool> {
+        if self.meta.contains_key(hash) {
+            return Ok(false); // genesis (or a duplicate frame)
+        }
+        let block = self.store.get(hash).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("replay: scanned block {hash} missing from store"),
+            )
+        })?;
+        match self.append((*block).clone()) {
+            Ok(_)
+            | Err(ValidationError::Duplicate(_) | ValidationError::BelowFinality { .. }) => {
+                Ok(false)
+            }
+            Err(ValidationError::UnknownParent(_)) => Ok(true),
+            Err(e) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("replay: stored block {hash} no longer valid: {e}"),
+            )),
+        }
+    }
+
+    /// Seed a chain from a checkpoint snapshot and replay only the
+    /// non-finalized suffix. See [`Chain::replay_with_tiers`].
+    fn fast_start(
+        store: Box<dyn BlockStore>,
+        tx_index: Option<TxIndex>,
+        mut meta_tier: MetaStore,
+        snap: CheckpointSnapshot,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let cp_hash = BlockHash(Hash256(snap.hash));
+        // Loud-failure contract: a valid snapshot must agree with the block
+        // store, otherwise the directories belong to different histories.
+        let cp_block = store.get(&cp_hash).ok_or_else(|| {
+            invalid(format!(
+                "snapshot checkpoint {cp_hash} at height {} missing from the block store",
+                snap.height
+            ))
+        })?;
+        if cp_block.header.height != snap.height {
+            return Err(invalid(format!(
+                "snapshot says height {} but stored block {cp_hash} has height {}",
+                snap.height, cp_block.header.height
+            )));
+        }
+        // Heal the height map: a crash can lose its staged tail (or tear
+        // its last page, truncated on open). Blocks are authoritative —
+        // walk parent pointers down from the checkpoint and refill.
+        let have = meta_tier.height_map().len();
+        if have <= snap.height {
+            let mut fill: Vec<(u64, BlockHash)> = Vec::new();
+            let mut cur = Arc::clone(&cp_block);
+            loop {
+                let h = cur.header.height;
+                if h < have {
+                    break;
+                }
+                fill.push((h, cur.hash()));
+                if h == 0 {
+                    break;
+                }
+                let parent = store.get(&cur.header.prev).ok_or_else(|| {
+                    invalid(format!(
+                        "height map heal: canonical ancestor {} missing from the block store",
+                        cur.header.prev
+                    ))
                 })?;
-            chain.append((*block).clone()).map_err(|e| {
+                cur = parent;
+            }
+            for (h, hash) in fill.into_iter().rev() {
+                meta_tier.height_map_mut().push(h, hash)?;
+            }
+        }
+        if meta_tier.height_map().hash_at(snap.height)? != Some(cp_hash) {
+            return Err(invalid(format!(
+                "height map disagrees with snapshot checkpoint at height {}",
+                snap.height
+            )));
+        }
+        let nonce_floor: HashMap<AccountId, u64> = snap
+            .next_nonce
+            .iter()
+            .map(|&(acct, n)| (AccountId(Hash256(acct)), n))
+            .collect();
+        let mut meta = HashMap::new();
+        // The checkpoint anchors fork choice: every later block's
+        // total_work is relative to it, and relative order is all the
+        // heaviest-chain rule compares.
+        meta.insert(
+            cp_hash,
+            BlockMeta {
+                height: snap.height,
+                total_work: 0,
+                parent: cp_block.header.prev,
+            },
+        );
+        let mut at_height = HashMap::new();
+        at_height.insert(snap.height, vec![cp_hash]);
+        let mut chain = Self {
+            config,
+            store,
+            meta,
+            tip: cp_hash,
+            genesis: Self::genesis_block().hash(),
+            canonical_base: snap.height,
+            canonical: VecDeque::from([cp_hash]),
+            index: ChainIndex::default(),
+            nonce_floor,
+            undo: HashMap::new(),
+            at_height,
+            finalized_height: snap.height,
+            tx_index,
+            meta_tier: Some(meta_tier),
+            index_synced_height: snap.index_durable_height,
+            last_snapshot_height: snap.height,
+            appended: 0,
+        };
+        chain.heal_index(&snap)?;
+        // Replay only the non-finalized suffix: header-only scan, then
+        // fetch and re-validate just the blocks above the checkpoint.
+        let mut order: Vec<(u64, BlockHash)> = Vec::new();
+        chain
+            .store
+            .scan_headers(&mut |h, hash| {
+                if h > snap.height {
+                    order.push((h, hash));
+                }
+            })?;
+        order.sort_by_key(|&(h, _)| h);
+        chain.replay_all(order)?;
+        chain.sync_meta()?;
+        Ok(chain)
+    }
+
+    /// Re-derive durable-index entries a crash may have lost.
+    ///
+    /// Entries at or below the snapshot's `index_durable_height` were
+    /// synced to durable pages; anything above it up to the checkpoint may
+    /// have sat in the crash-lossy staged tail. If a partition's durable
+    /// watermark additionally fell below what the snapshot recorded (a
+    /// torn page truncated on open), the re-derivation floor drops to that
+    /// watermark. Appends are idempotent per partition, so over-covering
+    /// costs reads, never duplicates.
+    fn heal_index(&mut self, snap: &CheckpointSnapshot) -> std::io::Result<()> {
+        let Some(ix) = &self.tx_index else {
+            return Ok(());
+        };
+        let watermarks = ix.partition_watermarks();
+        if !snap.index_watermarks.is_empty() && watermarks.len() != snap.index_watermarks.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot records {} index partitions, index has {}",
+                    snap.index_watermarks.len(),
+                    watermarks.len()
+                ),
+            ));
+        }
+        let mut from = snap.index_durable_height;
+        for (current, recorded) in watermarks.iter().zip(&snap.index_watermarks) {
+            if current < recorded {
+                from = from.min(*current);
+            }
+        }
+        if from >= snap.height {
+            return Ok(());
+        }
+        let mut entries: Vec<IndexEntry> = Vec::new();
+        for h in (from + 1)..=snap.height {
+            let hash = self.try_hash_at(h)?.ok_or_else(|| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("replay: stored block {hash} no longer valid: {e}"),
+                    format!("index heal: no canonical hash at height {h}"),
                 )
             })?;
+            let block = self.store.get(&hash).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("index heal: canonical block {hash} missing from the block store"),
+                )
+            })?;
+            entries.extend(block.txs.iter().enumerate().map(|(pos, tx)| IndexEntry {
+                id: tx.id(),
+                author: tx.author,
+                kind: tx.kind,
+                block: hash,
+                height: h,
+                pos: pos as u32,
+            }));
         }
-        Ok(chain)
+        if !entries.is_empty() {
+            self.tx_index
+                .as_mut()
+                .expect("checked above")
+                .append(entries)?;
+        }
+        Ok(())
     }
 
     /// The deterministic genesis block shared by every chain instance.
@@ -504,7 +873,7 @@ impl Chain {
 
     /// Height of the tip (genesis = 0).
     pub fn height(&self) -> u64 {
-        self.canonical.len() as u64 - 1
+        self.canonical_base + self.canonical.len() as u64 - 1
     }
 
     /// Genesis hash.
@@ -517,11 +886,44 @@ impl Chain {
         self.finalized_height
     }
 
+    /// Canonical hash at `height` from the in-memory suffix only.
+    fn suffix_hash(&self, height: u64) -> Option<BlockHash> {
+        let idx = height.checked_sub(self.canonical_base)?;
+        self.canonical.get(idx as usize).copied()
+    }
+
+    /// Canonical block hash at `height` — the two-tier merged accessor.
+    ///
+    /// The in-memory suffix covers heights above the checkpoint; the
+    /// durable height map (when a metadata tier is attached) serves
+    /// finalized history. An unreadable durable tier reads as absent here,
+    /// matching [`BlockStore::get`]; error-aware callers use
+    /// [`Chain::try_hash_at`].
+    pub fn hash_at(&self, height: u64) -> Option<BlockHash> {
+        self.try_hash_at(height).unwrap_or(None)
+    }
+
+    /// [`Chain::hash_at`], surfacing durable-tier read errors.
+    pub fn try_hash_at(&self, height: u64) -> std::io::Result<Option<BlockHash>> {
+        if let Some(hash) = self.suffix_hash(height) {
+            return Ok(Some(hash));
+        }
+        if height >= self.canonical_base {
+            return Ok(None); // above the tip
+        }
+        match &self.meta_tier {
+            Some(meta) => meta.height_map().hash_at(height),
+            None => Ok(None),
+        }
+    }
+
     /// The current finality checkpoint, when a finality depth is configured.
     pub fn checkpoint(&self) -> Option<Checkpoint> {
         self.config.finality_depth.map(|_| Checkpoint {
             height: self.finalized_height,
-            hash: self.canonical[self.finalized_height as usize],
+            hash: self
+                .suffix_hash(self.finalized_height)
+                .expect("suffix covers the checkpoint"),
         })
     }
 
@@ -532,15 +934,26 @@ impl Chain {
 
     /// Fetch the canonical block at `height`.
     pub fn block_at(&self, height: u64) -> Option<Arc<Block>> {
-        let hash = self.canonical.get(height as usize)?;
-        self.store.get(hash)
+        let hash = self.hash_at(height)?;
+        self.store.get(&hash)
     }
 
     /// Whether `hash` lies on the canonical chain.
+    ///
+    /// Non-finalized blocks answer from fork-choice metadata; finalized
+    /// blocks (whose metadata a metadata tier prunes) answer through the
+    /// durable height map, fetching the block once for its height.
     pub fn is_canonical(&self, hash: &BlockHash) -> bool {
-        self.meta
-            .get(hash)
-            .is_some_and(|m| self.canonical.get(m.height as usize) == Some(hash))
+        if let Some(m) = self.meta.get(hash) {
+            return self.suffix_hash(m.height) == Some(*hash);
+        }
+        if self.meta_tier.is_none() {
+            return false;
+        }
+        match self.store.get(hash) {
+            Some(block) => self.hash_at(block.header.height) == Some(*hash),
+            None => false,
+        }
     }
 
     /// Total blocks stored (including forks).
@@ -561,7 +974,19 @@ impl Chain {
 
     /// Next expected nonce for an author on the canonical chain.
     pub fn next_nonce(&self, author: &AccountId) -> u64 {
-        self.index.next_nonce.get(author).copied().unwrap_or(0)
+        self.next_nonce_for(author)
+    }
+
+    /// Next expected nonce for an author — the two-tier merged accessor.
+    ///
+    /// The mutable tier covers authors with transactions in the
+    /// non-finalized suffix; the durable nonce floor (raised at each
+    /// finality advance and persisted in every snapshot) covers finalized
+    /// history. The maximum of the two is the full-history value.
+    pub fn next_nonce_for(&self, author: &AccountId) -> u64 {
+        let mutable = self.index.next_nonce.get(author).copied().unwrap_or(0);
+        let floor = self.nonce_floor.get(author).copied().unwrap_or(0);
+        mutable.max(floor)
     }
 
     /// Locate a canonical transaction: `(containing block hash, position)`.
@@ -684,20 +1109,129 @@ impl Chain {
     /// hygiene; queries see staged entries either way).
     pub fn sync_index(&mut self) -> std::io::Result<()> {
         match &mut self.tx_index {
-            Some(ix) => ix.sync(),
+            Some(ix) => {
+                ix.sync()?;
+                self.index_synced_height = self.finalized_height;
+                Ok(())
+            }
             None => Ok(()),
         }
+    }
+
+    /// The attached durable metadata tier, if any (stats and inspection).
+    pub fn meta_tier(&self) -> Option<&MetaStore> {
+        self.meta_tier.as_ref()
+    }
+
+    /// Resident per-block chain metadata counts — bounded by O(finality
+    /// window + live forks) when the durable tiers are attached,
+    /// O(history) otherwise.
+    pub fn resident_metadata(&self) -> ResidentMetadata {
+        ResidentMetadata {
+            meta: self.meta.len(),
+            canonical: self.canonical.len(),
+            next_nonce: self.index.next_nonce.len(),
+            nonce_floor: self.nonce_floor.len(),
+            undo: self.undo.len(),
+            at_height: self.at_height.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Blocks validated and appended since this instance was constructed.
+    /// After a snapshot fast-start this counts only the re-absorbed
+    /// non-finalized suffix — the observable "no re-absorption of
+    /// finalized history" guarantee.
+    pub fn appended_blocks(&self) -> u64 {
+        self.appended
+    }
+
+    /// Flush every durable tier: staged index entries become pages, the
+    /// staged height-map tail becomes a page, and a fresh snapshot records
+    /// the resulting watermarks. Shutdown hygiene — a restart after this
+    /// heals nothing and fast-starts immediately.
+    pub fn sync_meta(&mut self) -> std::io::Result<()> {
+        self.sync_index()?;
+        if let Some(meta) = &mut self.meta_tier {
+            meta.height_map_mut().sync()?;
+        }
+        self.write_snapshot()?;
+        Ok(())
+    }
+
+    /// Write the checkpoint snapshot for the current finality state (no-op
+    /// without a metadata tier).
+    fn write_snapshot(&mut self) -> std::io::Result<()> {
+        if self.meta_tier.is_none() {
+            return Ok(());
+        }
+        let cp_hash = self
+            .suffix_hash(self.finalized_height)
+            .expect("suffix covers the checkpoint");
+        // BTreeMap: the snapshot encoding is canonical (sorted by account).
+        let nonces: BTreeMap<[u8; 32], u64> = self
+            .nonce_floor
+            .iter()
+            .map(|(a, n)| (*a.0.as_bytes(), *n))
+            .collect();
+        let meta = self.meta_tier.as_mut().expect("checked above");
+        let snap = CheckpointSnapshot {
+            version: META_VERSION,
+            height: self.finalized_height,
+            hash: *cp_hash.0.as_bytes(),
+            next_nonce: nonces.into_iter().collect(),
+            index_watermarks: self
+                .tx_index
+                .as_ref()
+                .map(|ix| ix.partition_watermarks())
+                .unwrap_or_default(),
+            index_durable_height: self.index_synced_height,
+            height_map_len: meta.height_map().durable_len(),
+        };
+        meta.write_snapshot(&snap)?;
+        // Recorded only on success: a failed write must not suppress the
+        // next interval-driven attempt.
+        self.last_snapshot_height = self.finalized_height;
+        Ok(())
     }
 
     /// Compact the block store against the current finality checkpoint:
     /// blocks on pruned forks at or below the checkpoint are dropped from
     /// sealed cold-tier segments. A no-op without finality or on stores
     /// with nothing to reclaim.
+    ///
+    /// Index maintenance rides along: staged entries are synced and any
+    /// partition at or past [`crate::index::TxIndexConfig::merge_threshold`]
+    /// pages is LSM-merged into one sorted run.
     pub fn compact(&mut self) -> std::io::Result<CompactionStats> {
-        match self.checkpoint() {
-            Some(cp) => self.store.compact(&cp),
-            None => Ok(CompactionStats::default()),
+        let stats = match self.checkpoint() {
+            Some(cp) => self.store.compact(&cp)?,
+            None => CompactionStats::default(),
+        };
+        if self.tx_index.is_some() {
+            self.sync_index()?;
+            let ix = self.tx_index.as_mut().expect("checked above");
+            let threshold = ix.config().merge_threshold;
+            ix.merge_pages(threshold)?;
+            self.write_snapshot()?;
         }
+        Ok(stats)
+    }
+
+    /// Force an LSM merge of every durable-index partition holding at
+    /// least `min_pages` pages (staged entries are synced first). Returns
+    /// what was rewritten; query results are unchanged by construction.
+    pub fn merge_index_pages(&mut self, min_pages: usize) -> std::io::Result<MergeStats> {
+        if self.tx_index.is_none() {
+            return Ok(MergeStats::default());
+        }
+        self.sync_index()?;
+        let stats = self
+            .tx_index
+            .as_mut()
+            .expect("checked above")
+            .merge_pages(min_pages)?;
+        self.write_snapshot()?;
+        Ok(stats)
     }
 
     /// Produce a self-contained inclusion proof for a canonical transaction.
@@ -826,12 +1360,13 @@ impl Chain {
         self.meta.insert(hash, meta);
         self.at_height.entry(meta.height).or_default().push(hash);
 
+        self.appended += 1;
         let tip_work = self.meta[&self.tip].total_work;
         let wins = meta.total_work > tip_work;
         if extends_tip {
             // Fast path: extend canonical chain incrementally.
             self.tip = hash;
-            self.canonical.push(hash);
+            self.canonical.push_back(hash);
             let undo = self.index.absorb(&arc);
             self.undo.insert(hash, undo);
             self.advance_finality();
@@ -875,7 +1410,7 @@ impl Chain {
             "fork choice must never cross the finality checkpoint"
         );
         while self.height() > ancestor_height {
-            let old = self.canonical.pop().expect("suffix non-empty");
+            let old = self.canonical.pop_back().expect("suffix non-empty");
             let undo = self
                 .undo
                 .remove(&old)
@@ -886,7 +1421,7 @@ impl Chain {
             let block = self.store.get(hash).expect("branch block stored");
             let undo = self.index.absorb(&block);
             self.undo.insert(*hash, undo);
-            self.canonical.push(*hash);
+            self.canonical.push_back(*hash);
         }
         self.tip = new_tip;
     }
@@ -895,6 +1430,13 @@ impl Chain {
     /// fork metadata at newly-final heights (plus any fork descendants that
     /// become orphaned) and demoting finalized canonical blocks to the
     /// store's cold tier.
+    ///
+    /// With a metadata tier attached this is also where the chain's
+    /// resident footprint is bounded: newly-final canonical hashes move to
+    /// the durable height map, the per-author nonce floor absorbs their
+    /// transactions' nonces, finalized `meta`/`canonical`/`next_nonce`
+    /// entries are pruned down to the suffix, and a checkpoint snapshot is
+    /// written atomically.
     fn advance_finality(&mut self) {
         let Some(depth) = self.config.finality_depth else {
             return;
@@ -910,9 +1452,16 @@ impl Chain {
         // only the non-finalized suffix.
         let mut spill: Vec<IndexEntry> = Vec::new();
         let mut orphan_frontier: HashSet<BlockHash> = HashSet::new();
+        let has_meta_tier = self.meta_tier.is_some();
         for h in (old_fin + 1)..=new_fin {
-            let canon = self.canonical[h as usize];
+            let canon = self.suffix_hash(h).expect("suffix covers finalizing heights");
             if let Some(undo) = self.undo.remove(&canon) {
+                if has_meta_tier {
+                    for u in &undo.txs {
+                        let floor = self.nonce_floor.entry(u.author).or_insert(0);
+                        *floor = (*floor).max(u.nonce + 1);
+                    }
+                }
                 if self.tx_index.is_some() {
                     spill.extend(undo.txs.iter().enumerate().map(|(i, u)| IndexEntry {
                         id: u.id,
@@ -922,8 +1471,13 @@ impl Chain {
                         height: h,
                         pos: i as u32,
                     }));
-                    self.index.spill(canon, &undo);
+                    self.index.spill(canon, &undo, has_meta_tier);
                 }
+            }
+            if let Some(meta) = &mut self.meta_tier {
+                meta.height_map_mut()
+                    .push(h, canon)
+                    .expect("height map append");
             }
             self.store.demote(&canon);
             if let Some(list) = self.at_height.remove(&h) {
@@ -941,6 +1495,20 @@ impl Chain {
                 .expect("spill gathered only with an index")
                 .append(spill)
                 .expect("tx index append");
+        }
+        if has_meta_tier {
+            // The durable tier now serves finalized heights: prune the
+            // in-memory prefix (fork-choice metadata, canonical hashes and
+            // height buckets strictly below the new checkpoint).
+            for h in self.canonical_base..new_fin {
+                let hash = self
+                    .canonical
+                    .pop_front()
+                    .expect("suffix covers pruned heights");
+                self.meta.remove(&hash);
+                self.at_height.remove(&h);
+            }
+            self.canonical_base = new_fin;
         }
         // Cascade: fork blocks above the checkpoint whose ancestry was just
         // pruned can never win fork choice again — drop their metadata too.
@@ -964,6 +1532,22 @@ impl Chain {
             orphan_frontier = next;
             h += 1;
         }
+        if has_meta_tier {
+            // Bound crash recovery: periodically force the tx index's
+            // staged tail into durable pages so the snapshot's
+            // `index_durable_height` keeps up with the checkpoint.
+            let config = *self.meta_tier.as_ref().expect("has_meta_tier").config();
+            if self.tx_index.is_some()
+                && new_fin.saturating_sub(self.index_synced_height) >= config.index_sync_interval
+            {
+                self.sync_index().expect("tx index sync");
+            }
+            if new_fin.saturating_sub(self.last_snapshot_height)
+                >= config.snapshot_interval.max(1)
+            {
+                self.write_snapshot().expect("snapshot write");
+            }
+        }
     }
 
     /// Walk the canonical chain and re-verify every link: header hashes,
@@ -973,17 +1557,23 @@ impl Chain {
     /// surfaces here.
     pub fn verify_integrity(&self) -> Result<(), ValidationError> {
         let mut prev_hash = BlockHash::ZERO;
-        for (h, hash) in self.canonical.iter().enumerate() {
+        for h in 0..=self.height() {
+            // Two-tier resolution: the walk covers finalized history via
+            // the durable height map, so tampering below the checkpoint
+            // still surfaces.
+            let hash = self
+                .hash_at(h)
+                .ok_or(ValidationError::UnknownParent(prev_hash))?;
             let block = self
                 .store
-                .get(hash)
-                .ok_or(ValidationError::UnknownParent(*hash))?;
-            if block.hash() != *hash {
+                .get(&hash)
+                .ok_or(ValidationError::UnknownParent(hash))?;
+            if block.hash() != hash {
                 return Err(ValidationError::BadTxRoot); // header bytes changed
             }
-            if block.header.height != h as u64 {
+            if block.header.height != h {
                 return Err(ValidationError::BadHeight {
-                    expected: h as u64,
+                    expected: h,
                     got: block.header.height,
                 });
             }
@@ -996,7 +1586,7 @@ impl Chain {
             if block.header.difficulty_bits > 0 && !block.header.meets_difficulty() {
                 return Err(ValidationError::BadProofOfWork);
             }
-            prev_hash = *hash;
+            prev_hash = hash;
         }
         Ok(())
     }
@@ -1011,19 +1601,39 @@ impl Chain {
     /// rebuild, entry by entry.
     pub fn index_consistent(&self) -> bool {
         let mut rebuilt = ChainIndex::default();
-        for hash in &self.canonical {
-            let block = match self.store.get(hash) {
+        for h in 0..=self.height() {
+            let block = match self.hash_at(h).and_then(|hash| self.store.get(&hash)) {
                 Some(b) => b,
                 None => return false,
             };
             rebuilt.absorb(&block);
         }
-        if self.tx_index.is_none() {
+        if self.tx_index.is_none() && self.meta_tier.is_none() {
             return rebuilt == self.index;
         }
-        // Nonce state never spills; it must match exactly.
-        if rebuilt.next_nonce != self.index.next_nonce {
-            return false;
+        // Nonces: the merged two-tier view must equal the full-history
+        // rebuild, and neither resident tier may exceed it (no phantoms).
+        for (author, expect) in &rebuilt.next_nonce {
+            if self.next_nonce_for(author) != *expect {
+                return false;
+            }
+        }
+        for (author, n) in &self.index.next_nonce {
+            if rebuilt.next_nonce.get(author).map_or(true, |r| r < n) {
+                return false;
+            }
+        }
+        for (author, n) in &self.nonce_floor {
+            if rebuilt.next_nonce.get(author).map_or(true, |r| r < n) {
+                return false;
+            }
+        }
+        if self.tx_index.is_none() {
+            // Metadata tier only: the mutable tx indexes still cover all of
+            // history and must match the rebuild structurally.
+            return rebuilt.tx_loc == self.index.tx_loc
+                && rebuilt.by_author == self.index.by_author
+                && rebuilt.by_kind == self.index.by_kind;
         }
         // Every canonical location resolves through the merged lookup, and
         // the mutable tier holds no phantom entries.
@@ -1063,8 +1673,16 @@ impl Chain {
     }
 
     /// Iterate canonical block hashes from genesis to tip.
-    pub fn canonical_hashes(&self) -> impl Iterator<Item = &BlockHash> {
-        self.canonical.iter()
+    ///
+    /// Owned values: finalized heights resolve through the durable height
+    /// map when a metadata tier is attached (panicking on an unreadable
+    /// tier, like the store-backed accessors' `expect`s), the suffix from
+    /// memory.
+    pub fn canonical_hashes(&self) -> impl Iterator<Item = BlockHash> + '_ {
+        (0..=self.height()).map(move |h| {
+            self.hash_at(h)
+                .expect("every height at or below the tip resolves")
+        })
     }
 
     /// Convenience for sealing: assemble a child of the current tip.
@@ -1088,6 +1706,18 @@ impl Chain {
     /// State root of the tip (ZERO when the application does not use one).
     pub fn tip_state_root(&self) -> Hash256 {
         self.tip_header().state_root
+    }
+}
+
+impl Drop for Chain {
+    fn drop(&mut self) {
+        // Best effort, mirroring `TxIndex`: a clean shutdown cuts the
+        // staged tails and writes a current snapshot, so the next open
+        // fast-starts with nothing to heal. Everything here is re-derived
+        // from blocks after a hard crash, so failures are ignorable.
+        if self.meta_tier.is_some() {
+            let _ = self.sync_meta();
+        }
     }
 }
 
@@ -1390,7 +2020,7 @@ mod tests {
         assert_eq!(c.finalized_height(), 4);
         let cp = c.checkpoint().unwrap();
         assert_eq!(cp.height, 4);
-        assert_eq!(cp.hash, *c.canonical_hashes().nth(4).unwrap());
+        assert_eq!(cp.hash, c.canonical_hashes().nth(4).unwrap());
         // Stale fork metadata at height 1 is pruned; the block body may
         // remain in cold storage but fork choice no longer tracks it.
         assert!(!c.meta.contains_key(&fork_hash));
@@ -1412,7 +2042,7 @@ mod tests {
         // A would-be fork off a finalized block is refused.
         let fork = Block::assemble(
             2,
-            *c.canonical_hashes().nth(1).unwrap(),
+            c.canonical_hashes().nth(1).unwrap(),
             100,
             AccountId::from_name("rival"),
             0,
@@ -1465,6 +2095,143 @@ mod tests {
             Err(ValidationError::UnknownParent(_))
         ));
         assert!(c.index_consistent());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "blockprov-chain-meta-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_tiers(dir: &std::path::Path) -> (TxIndex, crate::meta::MetaStore) {
+        let index = TxIndex::open(
+            dir.join("txindex"),
+            crate::index::TxIndexConfig {
+                partitions: 2,
+                page_entries: 4,
+                cached_pages: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let meta = crate::meta::MetaStore::open(
+            dir.join("meta"),
+            crate::meta::MetaConfig {
+                page_heights: 4,
+                cached_pages: 2,
+                index_sync_interval: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (index, meta)
+    }
+
+    fn durable_store(dir: &std::path::Path) -> Box<dyn BlockStore> {
+        Box::new(
+            crate::segment::TieredStore::open(
+                dir.join("blocks"),
+                crate::segment::TieredConfig {
+                    segment: crate::segment::SegmentConfig { segment_bytes: 4096 },
+                    hot_capacity: 8,
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn meta_tier_prunes_resident_metadata_and_serves_two_tier_lookups() {
+        let dir = temp_dir("prune");
+        let (index, meta) = small_tiers(&dir);
+        let depth = 3u64;
+        let mut c = Chain::with_tiers(
+            Box::new(MemStore::new()),
+            Some(index),
+            meta,
+            ChainConfig {
+                finality_depth: Some(depth),
+                ..ChainConfig::default()
+            },
+        );
+        let mut hashes = vec![c.genesis()];
+        for i in 0..30 {
+            let author = ["alice", "bob"][(i % 2) as usize];
+            hashes.push(seal(&mut c, vec![tx(author, i / 2)]));
+        }
+        assert_eq!(c.height(), 30);
+        assert_eq!(c.finalized_height(), 27);
+        // Resident per-block metadata is the suffix, not history.
+        let resident = c.resident_metadata();
+        assert_eq!(resident.canonical as u64, depth + 1);
+        assert_eq!(resident.undo as u64, depth);
+        assert!(
+            resident.meta as u64 <= depth + 1,
+            "fork-choice metadata kept for {} blocks, want the suffix",
+            resident.meta
+        );
+        assert!(resident.next_nonce <= 2);
+        // Finalized heights resolve through the durable height map…
+        for (h, hash) in hashes.iter().enumerate() {
+            assert_eq!(c.hash_at(h as u64), Some(*hash), "height {h}");
+            assert!(c.is_canonical(hash), "height {h} canonical");
+        }
+        assert_eq!(c.hash_at(31), None);
+        // …nonces merge the durable floor with the mutable suffix…
+        assert_eq!(c.next_nonce_for(&AccountId::from_name("alice")), 15);
+        assert_eq!(c.next_nonce_for(&AccountId::from_name("bob")), 15);
+        // …and the audit walks still pass over both tiers.
+        assert!(c.index_consistent());
+        c.verify_integrity().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fast_start_reproduces_tip_without_reabsorbing_history() {
+        let dir = temp_dir("faststart");
+        let depth = 4u64;
+        let config = ChainConfig {
+            finality_depth: Some(depth),
+            ..ChainConfig::default()
+        };
+        let alice = AccountId::from_name("alice");
+        let (tip, height, hashes) = {
+            let (index, meta) = small_tiers(&dir);
+            let mut c = Chain::with_tiers(durable_store(&dir), Some(index), meta, config.clone());
+            let mut hashes = vec![c.genesis()];
+            for i in 0..40 {
+                hashes.push(seal(&mut c, vec![tx("alice", i)]));
+            }
+            c.sync_meta().unwrap();
+            (c.tip(), c.height(), hashes)
+        };
+
+        let (index, meta) = small_tiers(&dir);
+        let c = Chain::replay_with_tiers(durable_store(&dir), Some(index), meta, config).unwrap();
+        assert_eq!(c.tip(), tip);
+        assert_eq!(c.height(), height);
+        // Only the non-finalized suffix was re-validated.
+        assert!(
+            c.appended_blocks() <= depth,
+            "fast start re-absorbed {} blocks, want at most the {depth}-block suffix",
+            c.appended_blocks()
+        );
+        for (h, hash) in hashes.iter().enumerate() {
+            assert_eq!(c.hash_at(h as u64), Some(*hash), "height {h}");
+        }
+        assert_eq!(c.next_nonce_for(&alice), 40);
+        assert!(c.index_consistent());
+        c.verify_integrity().unwrap();
+        // The suffix keeps extending normally after a fast start.
+        let mut c = c;
+        seal(&mut c, vec![tx("alice", 40)]);
+        assert_eq!(c.height(), height + 1);
+        assert!(c.index_consistent());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

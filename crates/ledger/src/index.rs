@@ -104,6 +104,12 @@ pub struct TxIndexConfig {
     pub page_entries: usize,
     /// Decoded pages held in the LRU page cache.
     pub cached_pages: usize,
+    /// LSM-style merge trigger: when a partition accumulates at least this
+    /// many durable pages, [`TxIndex::merge_pages`] (driven from
+    /// `Chain::compact`) rewrites them into one sorted page, rebuilding the
+    /// Bloom filters and kind mask. Keeps long-lived nodes from sweeping an
+    /// ever-growing tail of small pages on every lookup.
+    pub merge_threshold: usize,
 }
 
 impl Default for TxIndexConfig {
@@ -112,8 +118,24 @@ impl Default for TxIndexConfig {
             partitions: 16,
             page_entries: 1024,
             cached_pages: 64,
+            merge_threshold: 16,
         }
     }
+}
+
+/// What one [`TxIndex::merge_pages`] pass rewrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Partitions whose page sequences were merged.
+    pub partitions_merged: u32,
+    /// Durable pages before merging (merged partitions only).
+    pub pages_before: usize,
+    /// Durable pages after merging (merged partitions only).
+    pub pages_after: usize,
+    /// Bytes across the merged partition files before.
+    pub bytes_before: u64,
+    /// Bytes across the merged partition files after.
+    pub bytes_after: u64,
 }
 
 /// Where a page's entry bytes live inside its partition file.
@@ -183,8 +205,15 @@ impl TxIndex {
         std::fs::create_dir_all(&dir)?;
         let mut ids: Vec<u16> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
-            let name = entry?.file_name();
+            let entry = entry?;
+            let name = entry.file_name();
             let name = name.to_string_lossy();
+            // A stray merge temp file is a crashed merge that never renamed
+            // into place; the original pages are intact, so drop it.
+            if name.ends_with(".pages.tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
             if let Some(num) = name.strip_prefix("idx-").and_then(|s| s.strip_suffix(".pages")) {
                 let id = num.parse::<u16>().map_err(|_| {
                     io::Error::new(
@@ -360,15 +389,11 @@ impl TxIndex {
         Ok(())
     }
 
-    /// Cut the staged tail of partition `p` into one durable page.
-    fn cut_page(&mut self, p: usize) -> io::Result<()> {
-        let part = &mut self.partitions[p];
-        let mut staged = std::mem::take(&mut part.staged);
-        // Pages are sorted by id so point lookups binary-search; canonical
-        // order is recovered from (height, pos) at query time.
-        staged.sort_by_key(|e| e.id);
-        let mut key_bloom = BloomFilter::with_capacity(staged.len());
-        let mut authors: Vec<AccountId> = staged.iter().map(|e| e.author).collect();
+    /// Build a page header plus encoded entry bytes for `entries`, which
+    /// must already be sorted by id (the binary-search invariant).
+    fn build_page(partition: u16, sequence: u32, entries: &[IndexEntry]) -> (IndexPageHeader, Vec<u8>) {
+        let mut key_bloom = BloomFilter::with_capacity(entries.len());
+        let mut authors: Vec<AccountId> = entries.iter().map(|e| e.author).collect();
         authors.sort_unstable();
         authors.dedup();
         let mut secondary_bloom = BloomFilter::with_capacity(authors.len());
@@ -380,7 +405,7 @@ impl TxIndex {
         let mut first_height = u64::MAX;
         let mut last_height = 0u64;
         let mut entry_bytes = Writer::new();
-        for e in &staged {
+        for e in entries {
             let (h1, h2) = bloom_hashes(e.id.0.as_bytes());
             key_bloom.insert(h1, h2);
             tag_mask |= 1 << (e.kind % 64);
@@ -388,18 +413,28 @@ impl TxIndex {
             last_height = last_height.max(e.height);
             e.encode(&mut entry_bytes);
         }
-        let entry_bytes = entry_bytes.into_bytes();
         let header = IndexPageHeader {
             version: INDEX_VERSION,
-            partition: p as u16,
-            sequence: part.pages.len() as u32,
-            entry_count: staged.len() as u32,
+            partition,
+            sequence,
+            entry_count: entries.len() as u32,
             first_height,
             last_height,
             key_bloom,
             secondary_bloom,
             tag_mask,
         };
+        (header, entry_bytes.into_bytes())
+    }
+
+    /// Cut the staged tail of partition `p` into one durable page.
+    fn cut_page(&mut self, p: usize) -> io::Result<()> {
+        let part = &mut self.partitions[p];
+        let mut staged = std::mem::take(&mut part.staged);
+        // Pages are sorted by id so point lookups binary-search; canonical
+        // order is recovered from (height, pos) at query time.
+        staged.sort_by_key(|e| e.id);
+        let (header, entry_bytes) = Self::build_page(p as u16, part.pages.len() as u32, &staged);
         let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
         let writer = &mut self.writers[p];
         write_page_to(writer, &header, &entry_bytes)?;
@@ -410,7 +445,7 @@ impl TxIndex {
             header,
         };
         part.file_len += blockprov_wire::frame::frame_len(payload_len as usize);
-        part.last_height = part.last_height.max(last_height);
+        part.last_height = part.last_height.max(meta.header.last_height);
         self.bytes += blockprov_wire::frame::frame_len(payload_len as usize);
         // The freshly cut page is hot by construction.
         self.cache
@@ -418,6 +453,114 @@ impl TxIndex {
             .insert((p as u16, meta.header.sequence), Arc::new(staged));
         part.pages.push(meta);
         Ok(())
+    }
+
+    /// LSM-style page merge: every partition holding at least
+    /// `min_pages.max(2)` durable pages has its page sequence rewritten as
+    /// one id-sorted run (chunked only if it would overflow the frame
+    /// limit), with Bloom filters, kind masks and height fences rebuilt.
+    ///
+    /// Query results are unchanged — `lookup` already resolves duplicate
+    /// ids by latest `(height, pos)` and the secondary scans re-sort by
+    /// canonical order — but sweeps touch one page instead of many.
+    /// The rewrite goes to a temp file that atomically replaces the
+    /// partition file, so a crash at any point leaves either the old or the
+    /// new sequence, never a mix: merging is idempotent. The staged tail is
+    /// untouched (later cuts append after the merged run).
+    pub fn merge_pages(&mut self, min_pages: usize) -> io::Result<MergeStats> {
+        /// Entries per merged page: bounds the frame below `wire::MAX_LEN`
+        /// (an entry encodes to ~110 bytes; 2^17 entries ≈ 14 MiB < 16 MiB).
+        const MERGE_PAGE_ENTRIES: usize = 1 << 17;
+        let min_pages = min_pages.max(2);
+        let mut stats = MergeStats::default();
+        for p in 0..self.partitions.len() {
+            if self.partitions[p].pages.len() < min_pages {
+                continue;
+            }
+            let path = partition_path(&self.dir, p as u16);
+            let tmp = path.with_extension("pages.tmp");
+            // Gather every durable entry with a fresh sequential reader
+            // (the shared handle may sit on another partition).
+            let mut entries: Vec<IndexEntry> = Vec::new();
+            {
+                let mut reader = BufReader::new(File::open(&path)?);
+                while let Some((header, body)) = read_page_from(&mut reader)? {
+                    let mut r = Reader::new(&body);
+                    for _ in 0..header.entry_count {
+                        entries.push(IndexEntry::decode(&mut r).map_err(|e| {
+                            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                        })?);
+                    }
+                }
+            }
+            entries.sort_unstable_by_key(|e| (e.id, e.height, e.pos));
+            // Write the merged run, then swap it in. Every fallible step
+            // happens before any in-memory state changes.
+            let mut new_pages: Vec<PageMeta> = Vec::new();
+            let mut pos = 0u64;
+            {
+                let mut out = BufWriter::new(File::create(&tmp)?);
+                for (seq, chunk) in entries.chunks(MERGE_PAGE_ENTRIES).enumerate() {
+                    let (header, entry_bytes) = Self::build_page(p as u16, seq as u32, chunk);
+                    let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
+                    write_page_to(&mut out, &header, &entry_bytes)?;
+                    new_pages.push(PageMeta {
+                        offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
+                        len: payload_len,
+                        header,
+                    });
+                    pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                }
+                out.flush()?;
+                out.get_ref().sync_all()?;
+            }
+            // Re-open the append handle on the *tmp* file before the
+            // rename: the fd follows the inode through the swap, so the
+            // writer can never be stranded on an unlinked file.
+            let new_writer = BufWriter::new(OpenOptions::new().append(true).open(&tmp)?);
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            // Commit: repoint in-memory state at the merged layout.
+            let part = &mut self.partitions[p];
+            stats.partitions_merged += 1;
+            stats.pages_before += part.pages.len();
+            stats.pages_after += new_pages.len();
+            stats.bytes_before += part.file_len;
+            stats.bytes_after += pos;
+            self.bytes = self.bytes - part.file_len + pos;
+            part.pages = new_pages;
+            part.file_len = pos;
+            self.writers[p] = new_writer;
+            // Cached pages of this partition alias stale (partition,
+            // sequence) keys; purge them. The shared reader may hold the
+            // replaced inode; reopen lazily.
+            let mut cache = self.cache.borrow_mut();
+            for key in cache.keys_by_recency() {
+                if key.0 == p as u16 {
+                    cache.remove(&key);
+                }
+            }
+            drop(cache);
+            *self.reader.borrow_mut() = None;
+        }
+        Ok(stats)
+    }
+
+    /// Durable per-partition height watermarks (crash-recovery probes).
+    pub fn partition_watermarks(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.last_height).collect()
+    }
+
+    /// Durable page count per partition (merge-policy inspection).
+    pub fn partition_page_counts(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.pages.len()).collect()
+    }
+
+    /// The index configuration (merge threshold, page sizing).
+    pub fn config(&self) -> &TxIndexConfig {
+        &self.config
     }
 
     /// Load (or fetch from cache) the decoded entries of one page.
@@ -626,6 +769,7 @@ mod tests {
             partitions: 4,
             page_entries: 8,
             cached_pages: 4,
+            ..TxIndexConfig::default()
         }
     }
 
@@ -754,6 +898,7 @@ mod tests {
             partitions: 1,
             page_entries: 8,
             cached_pages: 4,
+            ..TxIndexConfig::default()
         };
         let batch_a: Vec<IndexEntry> = (1..=5).map(|i| entry(i, "a", 1)).collect();
         let batch_b: Vec<IndexEntry> = (0..6)
@@ -833,6 +978,90 @@ mod tests {
         }
         std::fs::remove_file(partition_path(&dir, 1)).unwrap();
         assert!(TxIndex::open(&dir, small_config()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_pages_collapses_partitions_and_preserves_queries() {
+        let dir = temp_dir("merge");
+        let mut ix = TxIndex::open(&dir, small_config()).unwrap();
+        // Mixed authors/kinds plus a duplicated id so latest-height-wins
+        // resolution is exercised across the merge.
+        let mut entries: Vec<IndexEntry> = (1..=120)
+            .map(|i| entry(i, if i % 3 == 0 { "alice" } else { "bob" }, (i % 5) as u16))
+            .collect();
+        let mut dup = entries[10];
+        dup.height = 200;
+        dup.pos = 3;
+        entries.push(dup);
+        // Small batches: each partition cuts several pages over time,
+        // leaving the many-small-pages shape merging exists to fix.
+        for batch in entries.chunks(6) {
+            ix.append(batch.to_vec()).unwrap();
+            ix.sync().unwrap();
+        }
+        assert!(
+            ix.partition_page_counts().iter().any(|&n| n > 1),
+            "small pages must leave multi-page partitions to merge"
+        );
+        let before_alice = ix.txs_by_author(&AccountId::from_name("alice")).unwrap();
+        let before_kind: Vec<Vec<TxId>> =
+            (0..5).map(|k| ix.txs_by_kind(k).unwrap()).collect();
+        let before_lookups: Vec<_> = entries.iter().map(|e| ix.lookup(&e.id).unwrap()).collect();
+        let total = ix.entries();
+
+        let stats = ix.merge_pages(2).unwrap();
+        assert!(stats.partitions_merged > 0);
+        assert!(stats.pages_after < stats.pages_before);
+        assert!(
+            ix.partition_page_counts().iter().all(|&n| n <= 1),
+            "every partition must collapse to at most one page"
+        );
+        assert_eq!(ix.entries(), total, "merging drops no entries");
+        // Byte-identical query results.
+        assert_eq!(ix.txs_by_author(&AccountId::from_name("alice")).unwrap(), before_alice);
+        for (k, expect) in before_kind.iter().enumerate() {
+            assert_eq!(&ix.txs_by_kind(k as u16).unwrap(), expect);
+        }
+        for (e, expect) in entries.iter().zip(&before_lookups) {
+            assert_eq!(&ix.lookup(&e.id).unwrap(), expect);
+        }
+        assert_eq!(ix.lookup(&dup.id).unwrap(), Some((dup.block, dup.pos)));
+
+        // Idempotent: a second pass with nothing above threshold is a no-op.
+        let again = ix.merge_pages(2).unwrap();
+        assert_eq!(again.partitions_merged, 0);
+
+        // Appends keep working after the writer-handle swap, and a reopen
+        // scans the merged layout cleanly.
+        let late = entry(500, "alice", 1);
+        ix.append(vec![late]).unwrap();
+        ix.sync().unwrap();
+        drop(ix);
+        let ix = TxIndex::open(&dir, small_config()).unwrap();
+        assert_eq!(ix.entries(), total + 1);
+        assert_eq!(ix.lookup(&late.id).unwrap(), Some((late.block, late.pos)));
+        assert_eq!(ix.txs_by_author(&AccountId::from_name("alice")).unwrap().len(), before_alice.len() + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_merge_temp_file_is_ignored_on_reopen() {
+        let dir = temp_dir("merge-crash");
+        let entries: Vec<IndexEntry> = (1..=40).map(|i| entry(i, "a", 1)).collect();
+        {
+            let mut ix = TxIndex::open(&dir, small_config()).unwrap();
+            ix.append(entries.clone()).unwrap();
+            ix.sync().unwrap();
+        }
+        // A merge that crashed before its rename leaves a temp file next to
+        // the intact originals.
+        std::fs::write(dir.join("idx-00.pages.tmp"), b"half-written merge").unwrap();
+        let ix = TxIndex::open(&dir, small_config()).unwrap();
+        assert!(!dir.join("idx-00.pages.tmp").exists(), "stray temp removed");
+        for e in &entries {
+            assert_eq!(ix.lookup(&e.id).unwrap(), Some((e.block, e.pos)));
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

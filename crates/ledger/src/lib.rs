@@ -17,15 +17,17 @@ pub mod cache;
 pub mod chain;
 pub mod index;
 pub mod mempool;
+pub mod meta;
 pub mod segment;
 pub mod store;
 pub mod tx;
 
 pub use block::{Block, BlockHash, BlockHeader, Checkpoint};
 pub use cache::LruCache;
-pub use chain::{Chain, ChainConfig, SignaturePolicy, ValidationError};
-pub use index::{IndexEntry, TxIndex, TxIndexConfig};
+pub use chain::{Chain, ChainConfig, ResidentMetadata, SignaturePolicy, ValidationError};
+pub use index::{IndexEntry, MergeStats, TxIndex, TxIndexConfig};
 pub use mempool::Mempool;
+pub use meta::{HeightMap, MetaConfig, MetaStore};
 pub use segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
 pub use store::{BlockStore, CompactionStats, FileStore, MemStore};
 pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

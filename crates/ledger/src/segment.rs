@@ -567,6 +567,25 @@ impl BlockStore for SegmentStore {
         }
         Ok(())
     }
+
+    fn scan_headers(&self, visit: &mut dyn FnMut(u64, BlockHash)) -> io::Result<()> {
+        // Header-only decode: a block frame opens with its fixed-layout
+        // header, so the transaction list (the bulk of the bytes) is never
+        // materialized. This is what keeps snapshot fast-start cheap.
+        for id in 0..=self.active {
+            let path = segment_path(&self.dir, id);
+            let mut reader = BufReader::new(File::open(&path)?);
+            let mut header = [0u8; SegmentHeader::ENCODED_LEN];
+            reader.read_exact(&mut header)?;
+            while let Some(body) = read_frame_from(&mut reader)? {
+                let mut r = blockprov_wire::Reader::new(&body);
+                let header = crate::block::BlockHeader::decode(&mut r)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                visit(header.height, header.hash());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Tuning for [`TieredStore`].
@@ -699,6 +718,10 @@ impl BlockStore for TieredStore {
 
     fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
         self.cold.scan(visit)
+    }
+
+    fn scan_headers(&self, visit: &mut dyn FnMut(u64, BlockHash)) -> io::Result<()> {
+        self.cold.scan_headers(visit)
     }
 }
 

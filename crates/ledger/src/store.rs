@@ -84,6 +84,17 @@ pub trait BlockStore: Send {
     /// appended after its parent); `MemStore` sorts by height. Used by
     /// chain replay after restart.
     fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> std::io::Result<()>;
+
+    /// Visit every stored block's `(height, hash)` in [`BlockStore::scan`]
+    /// order, without the obligation to decode transaction bodies.
+    ///
+    /// Snapshot fast-start uses this to find the non-finalized suffix: the
+    /// durable backends override it to decode headers only, so a restart
+    /// pays header-decode cost over history instead of full block decode +
+    /// re-validation. Default delegates to `scan`.
+    fn scan_headers(&self, visit: &mut dyn FnMut(u64, BlockHash)) -> std::io::Result<()> {
+        self.scan(&mut |b| visit(b.header.height, b.hash()))
+    }
 }
 
 /// Volatile in-memory store.

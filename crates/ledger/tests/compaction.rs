@@ -80,7 +80,7 @@ fn build_forked_chain(dir: &std::path::Path) -> (Chain, Vec<BlockHash>) {
 fn compaction_reclaims_fork_bytes_and_preserves_canonical_history() {
     let dir = temp_dir("reclaim");
     let (mut chain, fork_hashes) = build_forked_chain(&dir);
-    let canonical: Vec<BlockHash> = chain.canonical_hashes().copied().collect();
+    let canonical: Vec<BlockHash> = chain.canonical_hashes().collect();
     let finalized = chain.finalized_height();
     assert!(finalized > 2, "finality must have advanced past fork heights");
     let bytes_before = chain.stored_bytes();
@@ -117,7 +117,7 @@ fn replay_from_compacted_store_reproduces_tip_and_indexes() {
     let (mut chain, _) = build_forked_chain(&dir);
     let tip = chain.tip();
     let height = chain.height();
-    let canonical: Vec<BlockHash> = chain.canonical_hashes().copied().collect();
+    let canonical: Vec<BlockHash> = chain.canonical_hashes().collect();
     let author_ids = chain.txs_by_author(&AccountId::from_name("a"));
     let kind_ids = chain.txs_by_kind(1);
     let stats = chain.compact().unwrap();
@@ -132,7 +132,7 @@ fn replay_from_compacted_store_reproduces_tip_and_indexes() {
     assert_eq!(replayed.tip(), tip);
     assert_eq!(replayed.height(), height);
     assert_eq!(
-        replayed.canonical_hashes().copied().collect::<Vec<_>>(),
+        replayed.canonical_hashes().collect::<Vec<_>>(),
         canonical
     );
     assert!(replayed.index_consistent());
@@ -164,7 +164,7 @@ fn compaction_never_orphans_a_fork_child_in_the_active_segment() {
     // Fork parent D at height 4 and its child E at height 5, both above
     // the checkpoint (finalized = 3) when appended — E is appended late,
     // so it lands in (or near) the store's newest segments.
-    let c3 = *chain.canonical_hashes().nth(3).unwrap();
+    let c3 = chain.canonical_hashes().nth(3).unwrap();
     let d = Block::assemble(
         4,
         c3,
@@ -239,6 +239,7 @@ fn compaction_with_tx_index_keeps_two_tier_queries_intact() {
         partitions: 4,
         page_entries: 8,
         cached_pages: 8,
+        ..TxIndexConfig::default()
     };
     let config = ChainConfig {
         finality_depth: Some(2),

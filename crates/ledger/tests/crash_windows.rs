@@ -1,0 +1,306 @@
+//! Crash-window acceptance: every durable tier reopens consistently from
+//! the states a crash can actually leave behind.
+//!
+//! Three windows are simulated here:
+//! * a crash *between* `SegmentStore::compact`'s per-segment renames
+//!   (constructed by mixing compacted and pre-compaction segment files);
+//! * a torn `HeightMap` tail and a lost staged metadata tail (the snapshot
+//!   is ahead of the durable map — healed by walking parent pointers);
+//! * a corrupt snapshot (ignored; blocks stay authoritative) versus a
+//!   *valid* snapshot that contradicts the store (fails loudly).
+
+use blockprov_ledger::block::{Block, BlockHash};
+use blockprov_ledger::chain::{Chain, ChainConfig};
+use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+use blockprov_ledger::meta::{MetaConfig, MetaStore};
+use blockprov_ledger::segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
+use blockprov_ledger::store::BlockStore;
+use blockprov_ledger::tx::{AccountId, Transaction};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn tx(author: &str, nonce: u64) -> Transaction {
+    Transaction::new(
+        AccountId::from_name(author),
+        nonce,
+        1_000 + nonce,
+        1,
+        vec![0xAB; 32],
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "blockprov-crashwin-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}
+
+fn tiered(dir: &Path) -> Box<dyn BlockStore> {
+    Box::new(
+        TieredStore::open(
+            dir,
+            TieredConfig {
+                segment: SegmentConfig { segment_bytes: 512 },
+                hot_capacity: 8,
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn small_index(dir: &Path) -> TxIndex {
+    TxIndex::open(
+        dir,
+        TxIndexConfig {
+            partitions: 2,
+            page_entries: 4,
+            cached_pages: 4,
+            ..TxIndexConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn small_meta(dir: &Path) -> MetaStore {
+    MetaStore::open(
+        dir,
+        MetaConfig {
+            page_heights: 4,
+            cached_pages: 2,
+            index_sync_interval: 8,
+            // Snapshot every advance: these tests specifically exercise
+            // the snapshot-ahead-of-durable-tail crash windows.
+            snapshot_interval: 1,
+        },
+    )
+    .unwrap()
+}
+
+/// Grow a finality chain with a stale fork beside every canonical block.
+fn build_forky_segments(dir: &Path) -> (BlockHash, u64) {
+    let config = ChainConfig {
+        finality_depth: Some(2),
+        ..ChainConfig::default()
+    };
+    let mut chain = Chain::with_store(tiered(dir), config);
+    for i in 0..20u64 {
+        let parent = chain.tip();
+        let height = chain.height() + 1;
+        let ts = chain.tip_header().timestamp_ms + 10;
+        let canon = chain.assemble_next(ts, AccountId::from_name("sealer"), 0, vec![tx("a", i)]);
+        chain.append(canon).unwrap();
+        let rival = Block::assemble(
+            height,
+            parent,
+            ts,
+            AccountId::from_name("rival"),
+            0,
+            vec![tx("rival", i)],
+        );
+        chain.append(rival).unwrap();
+    }
+    (chain.tip(), chain.height())
+}
+
+#[test]
+fn crash_between_compaction_segment_renames_reopens_consistently() {
+    let dir = temp_dir("compact-renames");
+    let (tip, height) = build_forky_segments(&dir);
+
+    // `full` is the post-compaction state; `crash` simulates dying after
+    // the FIRST per-segment rename landed: that segment comes from the
+    // compacted run, every other file is pre-compaction. Each rename is
+    // atomic, so this mixed directory is exactly a mid-compaction crash.
+    let full = temp_dir("compact-renames-full");
+    copy_dir(&dir, &full);
+    let full_stats = {
+        let config = ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        };
+        let mut chain = Chain::replay(tiered(&full), config).unwrap();
+        chain.compact().unwrap()
+    };
+    assert!(full_stats.segments_rewritten >= 2, "need several renames");
+    let mut swapped = false;
+    for entry in std::fs::read_dir(&full).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        let crashed = dir.join(&name);
+        if entry.file_type().unwrap().is_file()
+            && std::fs::read(entry.path()).unwrap() != std::fs::read(&crashed).unwrap()
+        {
+            std::fs::copy(entry.path(), &crashed).unwrap();
+            swapped = true;
+            break;
+        }
+    }
+    assert!(swapped, "compaction must have rewritten some segment");
+
+    // The mid-crash store opens cleanly (every file is internally valid)…
+    let store = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+    drop(store);
+    // …replays to the same tip…
+    let config = ChainConfig {
+        finality_depth: Some(2),
+        ..ChainConfig::default()
+    };
+    let mut chain = Chain::replay(tiered(&dir), config).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    chain.verify_integrity().unwrap();
+    assert!(chain.index_consistent());
+    // …and a second compaction pass reclaims what the crash left behind.
+    let second = chain.compact().unwrap();
+    assert!(
+        second.blocks_dropped > 0,
+        "the not-yet-rewritten segments still held stale forks"
+    );
+    chain.verify_integrity().unwrap();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&full).unwrap();
+}
+
+/// Build a three-tier chain, returning (tip, height, expected alice nonce).
+fn build_tiered_chain(dir: &Path, blocks: u64, sync: bool) -> (BlockHash, u64, u64) {
+    let config = ChainConfig {
+        finality_depth: Some(3),
+        ..ChainConfig::default()
+    };
+    let mut chain = Chain::with_tiers(
+        tiered(&dir.join("blocks")),
+        Some(small_index(&dir.join("txindex"))),
+        small_meta(&dir.join("meta")),
+        config,
+    );
+    for i in 0..blocks {
+        let ts = chain.tip_header().timestamp_ms + 10;
+        let block = chain.assemble_next(ts, AccountId::from_name("sealer"), 0, vec![tx("alice", i)]);
+        chain.append(block).unwrap();
+    }
+    let out = (chain.tip(), chain.height(), blocks);
+    if sync {
+        chain.sync_meta().unwrap();
+    } else {
+        // Hard crash: Drop never runs, staged height-map and index tails
+        // are lost, only what was already flushed survives.
+        std::mem::forget(chain);
+    }
+    out
+}
+
+fn reopen(dir: &Path) -> std::io::Result<Chain> {
+    let config = ChainConfig {
+        finality_depth: Some(3),
+        ..ChainConfig::default()
+    };
+    Chain::replay_with_tiers(
+        tiered(&dir.join("blocks")),
+        Some(small_index(&dir.join("txindex"))),
+        small_meta(&dir.join("meta")),
+        config,
+    )
+}
+
+#[test]
+fn torn_height_map_tail_self_heals_on_reopen() {
+    let dir = temp_dir("torn-heightmap");
+    let (tip, height, nonce) = build_tiered_chain(&dir, 24, true);
+    // Tear the height map's tail: garbage the chain never wrote.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("meta").join("height.map"))
+            .unwrap();
+        f.write_all(&(5_000u32).to_le_bytes()).unwrap();
+        f.write_all(b"torn height page").unwrap();
+    }
+    let chain = reopen(&dir).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    assert_eq!(chain.next_nonce_for(&AccountId::from_name("alice")), nonce);
+    chain.verify_integrity().unwrap();
+    assert!(chain.index_consistent());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lost_staged_tails_heal_from_blocks_on_reopen() {
+    // A hard crash loses the staged height-map tail and staged index
+    // entries; the snapshot may reference heights the durable files no
+    // longer cover. Reopen must walk parent pointers / re-derive entries
+    // from blocks — and re-absorb nothing beyond that.
+    let dir = temp_dir("lost-staged");
+    let (tip, height, nonce) = build_tiered_chain(&dir, 23, false);
+    let chain = reopen(&dir).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    assert_eq!(chain.next_nonce_for(&AccountId::from_name("alice")), nonce);
+    for h in 0..=height {
+        assert!(chain.hash_at(h).is_some(), "height {h} resolves after heal");
+    }
+    chain.verify_integrity().unwrap();
+    assert!(chain.index_consistent(), "healed index serves every query");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_full_replay() {
+    let dir = temp_dir("corrupt-snap");
+    let (tip, height, _) = build_tiered_chain(&dir, 16, true);
+    std::fs::write(dir.join("meta").join("snapshot.ckpt"), b"\x20\x00\x00\x00nonsense").unwrap();
+    let chain = reopen(&dir).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    // Full replay re-absorbed everything (blocks are authoritative)…
+    assert!(chain.appended_blocks() >= height - 1);
+    assert!(chain.index_consistent());
+    drop(chain);
+    // …and rewrote the snapshot, so the NEXT open fast-starts again.
+    let chain = reopen(&dir).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert!(chain.appended_blocks() <= 4, "snapshot restored: O(suffix) start");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_contradicting_the_store_fails_loudly() {
+    let dir = temp_dir("mismatch");
+    build_tiered_chain(&dir, 16, true);
+    // A *valid* snapshot from a different history: pair this chain's
+    // metadata directory with a fresh, empty block store.
+    let err = match Chain::replay_with_tiers(
+        tiered(&dir.join("other-blocks")),
+        Some(small_index(&dir.join("other-txindex"))),
+        small_meta(&dir.join("meta")),
+        ChainConfig {
+            finality_depth: Some(3),
+            ..ChainConfig::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("snapshot/store mismatch must fail the open"),
+    };
+    assert!(
+        err.to_string().contains("missing from the block store"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

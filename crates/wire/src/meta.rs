@@ -1,0 +1,299 @@
+//! Chain-metadata codec: height-map pages and checkpoint snapshots.
+//!
+//! PR 2/3 spilled blocks and transaction indexes to disk; this module
+//! specifies the on-disk layout for the *remaining* per-block chain
+//! metadata — the canonical height→hash table and the checkpoint state
+//! snapshot — so a node's resident state can stay O(finality window) over
+//! unbounded history and a restart can fast-start from the snapshot instead
+//! of re-absorbing all of history.
+//!
+//! Two record kinds, both framed with the shared [`crate::frame`] framing:
+//!
+//! * **Height pages**: fixed-width entries (32-byte block hashes) covering a
+//!   contiguous height range `[first_height, first_height + entry_count)`.
+//!   Entry bytes are opaque at this layer (the ledger writes raw hashes), so
+//!   a reader can binary-search a page directory without decoding bodies.
+//! * **[`CheckpointSnapshot`]**: everything the chain needs to resume at a
+//!   finality checkpoint — its height/hash, the per-author `next_nonce`
+//!   floor, the transaction-index durability watermarks, and the height-map
+//!   length at snapshot time (the self-consistency watermarks crash
+//!   recovery checks against).
+
+use crate::frame::{read_frame_from, write_frame_to};
+use crate::{decode_seq, encode_seq, Codec, Reader, WireError, Writer};
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every height-map page (`BPHM` = BlockProv Height Map).
+pub const HEIGHT_MAGIC: [u8; 4] = *b"BPHM";
+
+/// Magic bytes opening every checkpoint snapshot (`BPCS`).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"BPCS";
+
+/// Current metadata format version (height pages and snapshots).
+pub const META_VERSION: u16 = 1;
+
+/// Width in bytes of one height-map entry (a block hash).
+pub const HEIGHT_ENTRY_LEN: usize = 32;
+
+/// Header opening every height-map page.
+///
+/// Pages cover *contiguous* height ranges in append order: page N+1's
+/// `first_height` must equal page N's `first_height + entry_count`, so a
+/// directory scan can verify gap-freeness without decoding entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeightPageHeader {
+    /// Format version (readers reject versions they do not understand).
+    pub version: u16,
+    /// First height covered by this page.
+    pub first_height: u64,
+    /// Number of fixed-width entries in the page body.
+    pub entry_count: u32,
+}
+
+impl Codec for HeightPageHeader {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&HEIGHT_MAGIC);
+        w.put_u16(self.version);
+        w.put_u64(self.first_height);
+        w.put_u32(self.entry_count);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let magic = r.get_raw(4)?;
+        if magic != HEIGHT_MAGIC {
+            return Err(WireError::Invalid("bad height page magic"));
+        }
+        let version = r.get_u16()?;
+        if version != META_VERSION {
+            return Err(WireError::Invalid("unsupported height page version"));
+        }
+        Ok(Self {
+            version,
+            first_height: r.get_u64()?,
+            entry_count: r.get_u32()?,
+        })
+    }
+}
+
+/// Write one height page — header plus fixed-width entry bytes — as a single
+/// frame. No flush; callers batch pages and flush once.
+pub fn write_height_page_to<W: Write>(
+    w: &mut W,
+    header: &HeightPageHeader,
+    entry_bytes: &[u8],
+) -> io::Result<()> {
+    debug_assert_eq!(
+        entry_bytes.len(),
+        header.entry_count as usize * HEIGHT_ENTRY_LEN,
+        "height page body must be entry_count fixed-width entries"
+    );
+    let mut body = header.to_wire();
+    body.extend_from_slice(entry_bytes);
+    write_frame_to(w, &body)
+}
+
+/// Read the next height page, returning its header and raw entry bytes.
+///
+/// `Ok(None)` on clean end-of-stream; a torn trailing frame, a bad header,
+/// or a body whose length disagrees with `entry_count` is an error (callers
+/// decide whether that means tamper-failure or crash-recovery truncation).
+pub fn read_height_page_from<R: Read>(
+    r: &mut R,
+) -> io::Result<Option<(HeightPageHeader, Vec<u8>)>> {
+    let Some(body) = read_frame_from(r)? else {
+        return Ok(None);
+    };
+    let mut reader = Reader::new(&body);
+    let header = HeightPageHeader::decode(&mut reader)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let rest = reader.remaining();
+    if rest != header.entry_count as usize * HEIGHT_ENTRY_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "height page body {} bytes does not match {} fixed-width entries",
+                rest, header.entry_count
+            ),
+        ));
+    }
+    let entries = reader
+        .get_raw(rest)
+        .expect("remaining bytes are available")
+        .to_vec();
+    Ok(Some((header, entries)))
+}
+
+/// A checkpoint state snapshot: the chain state a restart resumes from.
+///
+/// Written atomically (temp + rename) at each finality advance. Hashes and
+/// account ids appear as raw 32-byte values because the wire layer sits
+/// below the ledger's newtypes; the `next_nonce` map is sorted by account
+/// bytes so the encoding is canonical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSnapshot {
+    /// Format version.
+    pub version: u16,
+    /// Height of the checkpoint block.
+    pub height: u64,
+    /// Hash of the checkpoint block.
+    pub hash: [u8; 32],
+    /// Per-author `next_nonce` floor over all finalized history, sorted by
+    /// account bytes.
+    pub next_nonce: Vec<([u8; 32], u64)>,
+    /// Per-partition durable height watermarks of the transaction index at
+    /// snapshot time (empty when no index is attached).
+    pub index_watermarks: Vec<u64>,
+    /// Height through which the transaction index was last fully synced —
+    /// entries at or below this height are guaranteed durable, so crash
+    /// recovery only re-derives `(index_durable_height, height]`.
+    pub index_durable_height: u64,
+    /// Durable height-map length (heights covered by flushed pages) at
+    /// snapshot time; a shorter map on reopen marks a torn tail to heal.
+    pub height_map_len: u64,
+}
+
+impl Codec for CheckpointSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&SNAPSHOT_MAGIC);
+        w.put_u16(self.version);
+        w.put_u64(self.height);
+        self.hash.encode(w);
+        encode_seq(&self.next_nonce, w);
+        encode_seq(&self.index_watermarks, w);
+        w.put_u64(self.index_durable_height);
+        w.put_u64(self.height_map_len);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let magic = r.get_raw(4)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(WireError::Invalid("bad snapshot magic"));
+        }
+        let version = r.get_u16()?;
+        if version != META_VERSION {
+            return Err(WireError::Invalid("unsupported snapshot version"));
+        }
+        Ok(Self {
+            version,
+            height: r.get_u64()?,
+            hash: <[u8; 32]>::decode(r)?,
+            next_nonce: decode_seq(r)?,
+            index_watermarks: decode_seq(r)?,
+            index_durable_height: r.get_u64()?,
+            height_map_len: r.get_u64()?,
+        })
+    }
+}
+
+/// Write a snapshot as one frame (callers write to a temp file and rename).
+pub fn write_snapshot_to<W: Write>(w: &mut W, snapshot: &CheckpointSnapshot) -> io::Result<()> {
+    write_frame_to(w, &snapshot.to_wire())
+}
+
+/// Read a snapshot frame. `Ok(None)` on a clean empty stream; torn or
+/// corrupt bytes are an error (callers treat that as "no usable snapshot" —
+/// blocks stay authoritative).
+pub fn read_snapshot_from<R: Read>(r: &mut R) -> io::Result<Option<CheckpointSnapshot>> {
+    let Some(body) = read_frame_from(r)? else {
+        return Ok(None);
+    };
+    CheckpointSnapshot::from_wire(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(first: u64, count: u32) -> (HeightPageHeader, Vec<u8>) {
+        let header = HeightPageHeader {
+            version: META_VERSION,
+            first_height: first,
+            entry_count: count,
+        };
+        let mut bytes = Vec::new();
+        for i in 0..count {
+            bytes.extend_from_slice(&[(first as u8).wrapping_add(i as u8); HEIGHT_ENTRY_LEN]);
+        }
+        (header, bytes)
+    }
+
+    fn snapshot() -> CheckpointSnapshot {
+        CheckpointSnapshot {
+            version: META_VERSION,
+            height: 42,
+            hash: [7u8; 32],
+            next_nonce: vec![([1u8; 32], 5), ([2u8; 32], 99)],
+            index_watermarks: vec![40, 0, 41, 12],
+            index_durable_height: 38,
+            height_map_len: 40,
+        }
+    }
+
+    #[test]
+    fn height_page_round_trip_through_io() {
+        let mut buf = Vec::new();
+        let (h0, e0) = page(0, 3);
+        let (h1, e1) = page(3, 2);
+        write_height_page_to(&mut buf, &h0, &e0).unwrap();
+        write_height_page_to(&mut buf, &h1, &e1).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (rh0, re0) = read_height_page_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(rh0, h0);
+        assert_eq!(re0, e0);
+        let (rh1, re1) = read_height_page_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(rh1, h1);
+        assert_eq!(re1, e1);
+        assert!(read_height_page_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn height_page_rejects_bad_magic_and_length_mismatch() {
+        let (h, e) = page(0, 2);
+        let mut buf = Vec::new();
+        write_height_page_to(&mut buf, &h, &e).unwrap();
+        buf[4] = b'X'; // magic sits after the 4-byte frame length
+        assert!(read_height_page_from(&mut std::io::Cursor::new(buf)).is_err());
+
+        // A body shorter than entry_count * 32 is corrupt, not a page.
+        let mut body = h.to_wire();
+        body.extend_from_slice(&e[..HEIGHT_ENTRY_LEN]); // one entry missing
+        let mut buf = Vec::new();
+        crate::frame::write_frame_to(&mut buf, &body).unwrap();
+        assert!(read_height_page_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let s = snapshot();
+        assert_eq!(CheckpointSnapshot::from_wire(&s.to_wire()).unwrap(), s);
+
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &s).unwrap();
+        let read = read_snapshot_from(&mut std::io::Cursor::new(buf))
+            .unwrap()
+            .unwrap();
+        assert_eq!(read, s);
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_magic_version_and_torn_frames() {
+        let mut bytes = snapshot().to_wire();
+        bytes[0] = b'X';
+        assert!(CheckpointSnapshot::from_wire(&bytes).is_err());
+
+        let mut bytes = snapshot().to_wire();
+        bytes[4] = 0xFF; // version low byte
+        assert!(CheckpointSnapshot::from_wire(&bytes).is_err());
+
+        // Torn frame: length prefix promising more than is present.
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &snapshot()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_snapshot_from(&mut std::io::Cursor::new(buf)).is_err());
+
+        // Clean empty stream is "no snapshot", not an error.
+        assert!(read_snapshot_from(&mut std::io::Cursor::new(Vec::new()))
+            .unwrap()
+            .is_none());
+    }
+}

@@ -4,10 +4,27 @@
 # Runs the tier-1 command from ROADMAP.md (release build + full test
 # suite), compiles every criterion bench target so a bench-only breakage
 # cannot slip past review, and smoke-runs the ledger_scale bench (the
-# tiered-storage + spilled-index + compaction harness) so the scale
-# measurement path cannot silently rot either.
+# tiered-storage + spilled-index + metadata-tier + compaction harness) so
+# the scale measurement path cannot silently rot either.
+#
+# Flags:
+#   --dist   additionally build the bench crate under the fat-LTO `dist`
+#            profile — the configuration paper-grade numbers are quoted
+#            from — so dist-only breakage (LTO symbol issues, profile
+#            drift) surfaces in CI instead of on the day of measurement.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DIST=0
+for arg in "$@"; do
+  case "$arg" in
+    --dist) DIST=1 ;;
+    *)
+      echo "verify.sh: unknown flag $arg (supported: --dist)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -18,10 +35,16 @@ cargo test -q
 echo "== benches compile: cargo bench --no-run =="
 cargo bench --no-run
 
+if [ "$DIST" = "1" ]; then
+  echo "== dist profile: cargo build --profile dist -p blockprov-bench --benches =="
+  cargo build --profile dist -p blockprov-bench --benches
+fi
+
 echo "== bench smoke: cargo bench -p blockprov-bench --bench ledger_scale -- lookup =="
 # The filter trims the timing loops to the lookup groups; the one-shot
-# append/compaction measurements always run, which is the point — they
-# exercise the 100k-block tiered, spilled-index, and compaction paths.
+# append/cold-start/compaction measurements always run, which is the point
+# — they exercise the 100k-block tiered, spilled-index, metadata-tier
+# (snapshot fast-start vs full replay) and compaction paths.
 cargo bench -p blockprov-bench --bench ledger_scale -- lookup
 
 echo "verify.sh: all checks passed"

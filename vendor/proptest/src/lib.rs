@@ -16,11 +16,16 @@
 //! * [`ProptestConfig::with_cases`].
 //!
 //! Unlike a mock, cases really are generated from a deterministic per-test
-//! RNG and assertions really fail the test, and failing inputs are
+//! RNG and assertions really fail the test, failing inputs are
 //! **greedily shrunk**: integers step toward zero (or the range floor),
 //! vectors and strings halve and drop elements, tuples shrink one slot at a
 //! time, and the failure report carries the minimal input alongside the
-//! replay seed. Known gaps versus upstream:
+//! replay seed. Failures also **persist**: the replay seed is appended to
+//! `proptest-regressions/<test>.txt` next to the crate under test
+//! (upstream's `cc <seed>` file format) and persisted seeds replay *first*
+//! on the next run, so a fix is checked against the exact regression
+//! before fresh generation (`ProptestConfig::failure_persistence` opts
+//! out). Known gaps versus upstream:
 //!
 //! * **greedy, not tree-based shrinking** — candidates come from
 //!   [`Strategy::shrink`] and the runner takes the first that still fails
@@ -30,8 +35,7 @@
 //! * **narrower distributions** — `any::<char>()` is printable ASCII, and
 //!   `any::<f64>()` mixes wide-magnitude finite values with an overweighted
 //!   edge set (±0.0, NaN, ±∞, `MIN_POSITIVE`, `MAX`, `MIN`) rather than
-//!   upstream's full bit-pattern coverage;
-//! * **no persistence** — failures are not recorded to a regressions file.
+//!   upstream's full bit-pattern coverage.
 //!
 //! Swap the workspace `proptest` dependency back to crates.io for all of
 //! these.
@@ -298,6 +302,7 @@ macro_rules! __proptest_with_config {
                 let strategy = ($($arg_strat,)+);
                 $crate::test_runner::run_cases(
                     &config,
+                    option_env!("CARGO_MANIFEST_DIR"),
                     concat!(module_path!(), "::", stringify!($name)),
                     &strategy,
                     |($($arg_pat,)+)| {
@@ -495,9 +500,13 @@ mod tests {
 
     // Deliberately failing properties, wrapped in catch_unwind by the
     // shrinking tests below: the panic message must carry the *minimal*
-    // failing input, not just a replay seed.
+    // failing input, not just a replay seed. Persistence is off — these
+    // failures are the test fixture, not regressions to record.
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+        #![proptest_config(ProptestConfig {
+            failure_persistence: false,
+            ..ProptestConfig::with_cases(64)
+        })]
 
         fn fails_at_17_or_more(v in 0u64..1000) {
             prop_assert!(v < 17);
@@ -551,6 +560,98 @@ mod tests {
         assert!(Strategy::shrink(&(3i64..100), &10).contains(&3));
         // Extremes must not overflow.
         let _ = Strategy::shrink(&(i64::MIN..=i64::MAX), &i64::MIN);
+    }
+
+    #[test]
+    fn failure_persistence_records_and_replays_seeds() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let config = ProptestConfig::with_cases(64);
+        let strategy = 0u64..1000;
+
+        // First run: the failure writes its replay seed.
+        let panicked = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                &config,
+                Some(&manifest),
+                "shim::persist_demo",
+                &strategy,
+                |v| {
+                    if v >= 17 {
+                        Err(TestCaseError::fail("too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        assert!(panicked.is_err(), "property must fail");
+        let file = dir.join("proptest-regressions").join("shim-persist_demo.txt");
+        let text = std::fs::read_to_string(&file).expect("regression file written");
+        assert!(text.lines().any(|l| l.starts_with("cc 0x")), "no seed in: {text}");
+
+        // Second run with ZERO fresh cases: only the persisted seed can
+        // fire — proving persisted seeds replay first.
+        let replay_only = ProptestConfig::with_cases(0);
+        let replayed = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                &replay_only,
+                Some(&manifest),
+                "shim::persist_demo",
+                &strategy,
+                |v| {
+                    if v >= 17 {
+                        Err(TestCaseError::fail("too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = replayed
+            .expect_err("persisted seed must replay and fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap();
+        assert!(msg.contains("persisted regression"), "wrong failure: {msg}");
+
+        // A fixed property replays the seed, passes, and keeps the file
+        // (the recommendation is to check regressions in).
+        crate::test_runner::run_cases(
+            &config,
+            Some(&manifest),
+            "shim::persist_demo",
+            &strategy,
+            |_| Ok(()),
+        );
+        assert!(file.exists());
+
+        // Duplicate failures do not duplicate seeds.
+        let before = std::fs::read_to_string(&file).unwrap();
+        let _ = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                &ProptestConfig { failure_persistence: true, ..ProptestConfig::with_cases(4) },
+                Some(&manifest),
+                "shim::persist_demo",
+                &strategy,
+                |_| Err(TestCaseError::fail("always")),
+            );
+        });
+        let after = std::fs::read_to_string(&file).unwrap();
+        let seeds: Vec<&str> = after.lines().filter(|l| l.starts_with("cc ")).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(seeds.len(), dedup.len(), "duplicate seeds persisted: {after}");
+        assert!(after.len() >= before.len());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     prop_compose! {

@@ -40,6 +40,12 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Give up after this many `prop_assume!` rejections.
     pub max_global_rejects: u32,
+    /// Persist failing replay seeds to a `proptest-regressions/` file next
+    /// to the crate under test, and replay persisted seeds first on the
+    /// next run (mirrors upstream's `FileFailurePersistence`). Disable for
+    /// properties that are *expected* to fail (e.g. tests of the runner
+    /// itself).
+    pub failure_persistence: bool,
 }
 
 impl Default for ProptestConfig {
@@ -48,6 +54,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 64,
             max_global_rejects: 4096,
+            failure_persistence: true,
         }
     }
 }
@@ -110,15 +117,75 @@ impl TestRng {
 /// failing test indefinitely.
 const SHRINK_EVAL_BUDGET: usize = 512;
 
+/// Where a test's persisted regression seeds live: one file per property
+/// under `<manifest>/proptest-regressions/`, `cc <hex seed>` per line
+/// (upstream's file format, so the files stay swappable).
+fn regression_file(manifest_dir: &str, test_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{}.txt", test_name.replace("::", "-")))
+}
+
+/// Parse persisted `cc <seed>` lines (comments and junk are skipped).
+fn load_regression_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let rest = rest.trim().trim_start_matches("0x");
+            u64::from_str_radix(rest, 16).ok()
+        })
+        .collect()
+}
+
+/// Append a failing seed to the regression file (idempotent, best-effort:
+/// persistence failures never mask the property failure itself).
+fn persist_regression_seed(path: &std::path::Path, test_name: &str, seed: u64) {
+    let known = load_regression_seeds(path);
+    if known.contains(&seed) {
+        return;
+    }
+    let _ = (|| -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        use std::io::Write;
+        let fresh = !path.exists();
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        if fresh {
+            writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated for {test_name}.\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases."
+            )?;
+        }
+        writeln!(f, "cc {seed:#018x}")
+    })();
+}
+
 /// Drive one property through `config.cases` cases generated by `strategy`.
+///
+/// When `manifest_dir` is set and `config.failure_persistence` is on,
+/// seeds persisted by previous failing runs replay *first* (so a fix is
+/// checked against the exact regression before fresh generation), and any
+/// new failure appends its replay seed to the `proptest-regressions/`
+/// file before panicking.
 ///
 /// On the first case whose closure returns [`TestCaseError::Fail`] (or
 /// panics), the runner greedily shrinks the failing input — asking the
 /// strategy for simpler candidates and descending while the property keeps
 /// failing — then panics (failing the surrounding `#[test]`) with the
 /// *minimal* failing input plus the original replay seed.
-pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut case: F)
-where
+pub fn run_cases<S, F>(
+    config: &ProptestConfig,
+    manifest_dir: Option<&str>,
+    test_name: &str,
+    strategy: &S,
+    mut case: F,
+) where
     S: Strategy + ?Sized,
     S::Value: Clone + fmt::Debug,
     F: FnMut(S::Value) -> Result<(), TestCaseError>,
@@ -138,6 +205,64 @@ where
             },
         )
     };
+    // Greedy descent: adopt the first candidate that still fails, restart
+    // from it, stop when no candidate fails (a local minimum) or the
+    // evaluation budget runs out. Returns (minimal, its message, evals).
+    let shrink_minimal =
+        |eval: &mut dyn FnMut(S::Value) -> Result<(), TestCaseError>,
+         value: S::Value,
+         original_msg: &str| {
+            let mut minimal = value;
+            let mut minimal_msg = original_msg.to_string();
+            let mut evals = 0usize;
+            'descend: loop {
+                let mut progressed = false;
+                for cand in strategy.shrink(&minimal) {
+                    if evals >= SHRINK_EVAL_BUDGET {
+                        break 'descend;
+                    }
+                    evals += 1;
+                    if let Err(TestCaseError::Fail(msg)) = eval(cand.clone()) {
+                        minimal = cand;
+                        minimal_msg = msg;
+                        progressed = true;
+                        break;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            (minimal, minimal_msg, evals)
+        };
+
+    let persist_path = match (manifest_dir, config.failure_persistence) {
+        (Some(dir), true) => Some(regression_file(dir, test_name)),
+        _ => None,
+    };
+    // Replay persisted regression seeds first: a fix is validated against
+    // the exact recorded failures before any fresh generation runs.
+    if let Some(path) = &persist_path {
+        for seed in load_regression_seeds(path) {
+            let mut case_rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut case_rng);
+            match eval(value.clone()) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(original_msg) => {
+                    let original_msg = original_msg.to_string();
+                    let (minimal, minimal_msg, evals) =
+                        shrink_minimal(&mut eval, value, &original_msg);
+                    panic!(
+                        "{test_name}: persisted regression (seed {seed:#018x}, from \
+                         {path:?}) still fails:\n{original_msg}\n\
+                         minimal failing input after {evals} shrink evaluations: \
+                         {minimal:?}\n{minimal_msg}"
+                    );
+                }
+            }
+        }
+    }
+
     let mut rng = TestRng::from_name(test_name);
     let mut passed = 0u32;
     let mut rejected = 0u32;
@@ -160,30 +285,13 @@ where
                 }
             }
             Err(TestCaseError::Fail(original_msg)) => {
-                // Greedy descent: adopt the first candidate that still
-                // fails, restart from it, stop when no candidate fails (a
-                // local minimum) or the evaluation budget runs out.
-                let mut minimal = value;
-                let mut minimal_msg = original_msg.clone();
-                let mut evals = 0usize;
-                'descend: loop {
-                    let mut progressed = false;
-                    for cand in strategy.shrink(&minimal) {
-                        if evals >= SHRINK_EVAL_BUDGET {
-                            break 'descend;
-                        }
-                        evals += 1;
-                        if let Err(TestCaseError::Fail(msg)) = eval(cand.clone()) {
-                            minimal = cand;
-                            minimal_msg = msg;
-                            progressed = true;
-                            break;
-                        }
-                    }
-                    if !progressed {
-                        break;
-                    }
+                // Record the replay seed BEFORE shrinking: even a shrink
+                // that itself misbehaves leaves the regression on disk.
+                if let Some(path) = &persist_path {
+                    persist_regression_seed(path, test_name, case_seed);
                 }
+                let (minimal, minimal_msg, evals) =
+                    shrink_minimal(&mut eval, value, &original_msg);
                 panic!(
                     "{test_name}: property failed at case {case_index} \
                      (seed {case_seed:#018x}):\n{original_msg}\n\

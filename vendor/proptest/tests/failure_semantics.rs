@@ -4,6 +4,14 @@
 use proptest::prelude::*;
 
 proptest! {
+    // These failures are the point of the test, not regressions to record
+    // (and recording them would make every later run replay-panic with a
+    // different message).
+    #![proptest_config(ProptestConfig {
+        failure_persistence: false,
+        ..ProptestConfig::default()
+    })]
+
     #[test]
     #[should_panic(expected = "property failed")]
     fn violated_property_panics(v in any::<u64>()) {
