@@ -209,6 +209,7 @@ impl ViewManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockprov_ledger::block::Block;
     use blockprov_ledger::chain::ChainConfig;
 
     fn acct(n: &str) -> AccountId {
@@ -220,8 +221,12 @@ mod tests {
     }
 
     fn chain_with_txs() -> Chain {
+        // Assemble the whole stream first, then ingest it as one batch
+        // through the two-stage pipeline.
         let mut c = Chain::new(ChainConfig::default());
-        let b = c.assemble_next(
+        let b1 = Block::assemble(
+            1,
+            c.tip(),
             1_000,
             acct("sealer"),
             0,
@@ -231,9 +236,15 @@ mod tests {
                 tx("alice", 1, 2, 300),
             ],
         );
-        c.append(b).unwrap();
-        let b = c.assemble_next(2_000, acct("sealer"), 0, vec![tx("carol", 0, 1, 400)]);
-        c.append(b).unwrap();
+        let b2 = Block::assemble(
+            2,
+            b1.hash(),
+            2_000,
+            acct("sealer"),
+            0,
+            vec![tx("carol", 0, 1, 400)],
+        );
+        c.append_batch(vec![b1, b2]).unwrap();
         c
     }
 

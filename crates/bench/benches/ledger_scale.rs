@@ -21,7 +21,7 @@ use blockprov_ledger::meta::{MetaConfig, MetaStore};
 use blockprov_ledger::segment::{SegmentConfig, TieredConfig, TieredStore};
 use blockprov_ledger::store::{BlockStore, MemStore};
 use blockprov_ledger::tx::{AccountId, Transaction, TxId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -143,6 +143,11 @@ fn meta_chain(dir: &std::path::Path) -> Chain {
 /// Resident per-block metadata entries/bytes for one backend, one line.
 fn report_resident_metadata(label: &str, chain: &Chain) {
     let r = chain.resident_metadata();
+    record_metric(
+        &format!("resident_metadata/{label}"),
+        r.approx_bytes() as f64,
+        "bytes",
+    );
     println!(
         "ledger_scale resident metadata [{label}]: {} entries ≈ {} bytes \
          (meta {} / canonical {} / nonce {}+{} / undo {} / at_height {})",
@@ -203,6 +208,11 @@ fn report_append_throughput() -> (
 ) {
     let mut mem = Chain::with_store(Box::new(MemStore::new()), chain_config());
     let (mem_ids, mem_t) = grow(&mut mem, SCALE_BLOCKS);
+    record_metric(
+        "append/MemStore",
+        SCALE_BLOCKS as f64 / mem_t.as_secs_f64(),
+        "blk/s",
+    );
     println!(
         "ledger_scale append [MemStore]: {SCALE_BLOCKS} blocks in {:.2?} \
          ({:.0} blocks/s), resident blocks {}",
@@ -214,6 +224,11 @@ fn report_append_throughput() -> (
     let dir = tiered_dir("grow");
     let mut tiered = tiered_chain(&dir);
     let (tiered_ids, tiered_t) = grow(&mut tiered, SCALE_BLOCKS);
+    record_metric(
+        "append/TieredStore",
+        SCALE_BLOCKS as f64 / tiered_t.as_secs_f64(),
+        "blk/s",
+    );
     println!(
         "ledger_scale append [TieredStore]: {SCALE_BLOCKS} blocks in {:.2?} \
          ({:.0} blocks/s), resident blocks {} (hot cap {HOT_CAPACITY}), \
@@ -236,6 +251,11 @@ fn report_append_throughput() -> (
     // measure the page path, not the in-memory staging buffer.
     spilled.sync_index().expect("sync index");
     let ix = spilled.tx_index().expect("index attached");
+    record_metric(
+        "append/Tiered+TxIndex",
+        SCALE_BLOCKS as f64 / spilled_t.as_secs_f64(),
+        "blk/s",
+    );
     println!(
         "ledger_scale append [Tiered+TxIndex]: {SCALE_BLOCKS} blocks in {:.2?} \
          ({:.0} blocks/s), resident index entries {} (history {}), \
@@ -257,6 +277,11 @@ fn report_append_throughput() -> (
     let mut metad = meta_chain(&mdir);
     let (meta_ids, meta_t) = grow(&mut metad, SCALE_BLOCKS);
     let _ = meta_ids;
+    record_metric(
+        "append/Tiered+TxIndex+Meta",
+        SCALE_BLOCKS as f64 / meta_t.as_secs_f64(),
+        "blk/s",
+    );
     println!(
         "ledger_scale append [Tiered+TxIndex+Meta]: {SCALE_BLOCKS} blocks in {:.2?} \
          ({:.0} blocks/s), height-map {} pages / {} bytes, snapshot every {} advances",
@@ -275,6 +300,90 @@ fn report_append_throughput() -> (
     report_cold_start(&mdir);
 
     (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, vec![dir, sdir, mdir])
+}
+
+/// One-shot ingest-pipeline scaling curve: blocks/s of `append_batch` over
+/// the all-tiers backend at 1/2/4/8 stateless-stage worker threads.
+///
+/// The stream is tx-heavy (24 txs per block) so the stateless stage —
+/// header hashing, per-tx id derivation, Merkle recomputation — carries
+/// real work to fan out; the serialized commit section is identical at
+/// every thread count, and so is the resulting chain (asserted on the
+/// tip). `INGEST_SCALE_BLOCKS` overrides the stream length (CI smoke runs
+/// use a short one).
+fn report_ingest_scaling() {
+    const BATCH: usize = 512;
+    const TXS_PER_BLOCK: u64 = 24;
+    let blocks: u64 = std::env::var("INGEST_SCALE_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let sealer = AccountId::from_name("sealer");
+    // Pre-assemble the whole linear stream once; every thread count
+    // ingests the identical blocks.
+    let mut parent = Chain::genesis_block().hash();
+    let stream: Vec<Block> = (0..blocks)
+        .map(|i| {
+            let txs: Vec<Transaction> = (0..TXS_PER_BLOCK)
+                .map(|j| {
+                    Transaction::new(
+                        AccountId::from_name("auditor"),
+                        i * TXS_PER_BLOCK + j,
+                        i + 1,
+                        7,
+                        vec![0xAB; 24],
+                    )
+                })
+                .collect();
+            let b = Block::assemble(i + 1, parent, i + 1, sealer, 0, txs);
+            parent = b.hash();
+            b
+        })
+        .collect();
+    let mut tips = Vec::new();
+    let mut single_thread_rate = None;
+    for threads in [1usize, 2, 4, 8] {
+        let dir = tiered_dir(&format!("ingest-{threads}"));
+        let config = ChainConfig {
+            ingest_threads: threads,
+            ..chain_config()
+        };
+        let mut chain = Chain::with_tiers(
+            meta_tier_store(&dir),
+            Some(meta_tier_index(&dir)),
+            meta_tier_meta(&dir),
+            config,
+        );
+        let t = Instant::now();
+        for batch in stream.chunks(BATCH) {
+            chain.append_batch(batch.to_vec()).expect("batch append");
+        }
+        let dt = t.elapsed();
+        let rate = blocks as f64 / dt.as_secs_f64();
+        let speedup = match single_thread_rate {
+            None => {
+                single_thread_rate = Some(rate);
+                1.0
+            }
+            Some(base) => rate / base,
+        };
+        record_metric(
+            &format!("ingest_scaling/all-tiers/threads/{threads}"),
+            rate,
+            "blk/s",
+        );
+        println!(
+            "ledger_scale ingest scaling [all tiers, {threads} threads]: {blocks} blocks \
+             x {TXS_PER_BLOCK} txs in {dt:.2?} ({rate:.0} blocks/s, {speedup:.2}x vs 1 thread)",
+        );
+        tips.push(chain.tip());
+        drop(chain);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        tips.windows(2).all(|w| w[0] == w[1]),
+        "ingest pipeline must produce an identical chain at every thread count"
+    );
 }
 
 /// One-shot compaction measurement: a fork-heavy history over tiny
@@ -423,6 +532,7 @@ fn bench_ledger_scale(c: &mut Criterion) {
     let (hits, misses) = spilled.tx_index().expect("index").cache_stats();
     println!("ledger_scale spilled-index page cache: {hits} hits / {misses} misses");
 
+    report_ingest_scaling();
     report_compaction();
 
     drop(tiered);

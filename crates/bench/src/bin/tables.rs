@@ -205,11 +205,23 @@ fn f1_rq_layering() {
 /// F2 — Figure 2: prev-hash + Merkle root tamper cascade.
 fn f2_tamper_cascade() {
     let mut chain = Chain::new(ChainConfig::default());
-    for i in 0..5u64 {
-        let tx = Transaction::new(AccountId::from_name("u"), i, i, 1, vec![i as u8]);
-        let b = chain.assemble_next(1000 * (i + 1), AccountId::from_name("s"), 0, vec![tx]);
-        chain.append(b).unwrap();
-    }
+    let mut parent = chain.tip();
+    let blocks: Vec<Block> = (0..5u64)
+        .map(|i| {
+            let tx = Transaction::new(AccountId::from_name("u"), i, i, 1, vec![i as u8]);
+            let b = Block::assemble(
+                i + 1,
+                parent,
+                1000 * (i + 1),
+                AccountId::from_name("s"),
+                0,
+                vec![tx],
+            );
+            parent = b.hash();
+            b
+        })
+        .collect();
+    chain.append_batch(blocks).unwrap();
     let mut rows = Vec::new();
     rows.push(vec![
         "honest chain".into(),

@@ -72,6 +72,10 @@ pub struct LedgerConfig {
     /// demoted to the block store's cold tier. `None` keeps every fork
     /// replayable forever (the seed behaviour).
     pub finality_depth: Option<u64>,
+    /// Worker threads for the stateless stage of batched block ingest.
+    /// `0` = one per available core, `1` = inline (no worker threads).
+    /// Chain state is byte-identical at any setting.
+    pub ingest_threads: usize,
 }
 
 impl LedgerConfig {
@@ -92,6 +96,7 @@ impl LedgerConfig {
             cache_capacity: 256,
             enforce_schema: true,
             finality_depth: None,
+            ingest_threads: 0,
         }
     }
 
@@ -108,6 +113,7 @@ impl LedgerConfig {
             cache_capacity: 256,
             enforce_schema: true,
             finality_depth: None,
+            ingest_threads: 0,
         }
     }
 
@@ -130,6 +136,7 @@ impl LedgerConfig {
             cache_capacity: 256,
             enforce_schema: false,
             finality_depth: None,
+            ingest_threads: 0,
         }
     }
 
@@ -154,6 +161,13 @@ impl LedgerConfig {
     /// Builder: enable checkpoint finality at `depth` blocks behind the tip.
     pub fn with_finality(mut self, depth: u64) -> Self {
         self.finality_depth = Some(depth);
+        self
+    }
+
+    /// Builder: set the worker-thread count for the stateless stage of
+    /// batched ingest (`0` = one per core, `1` = inline).
+    pub fn with_ingest_threads(mut self, threads: usize) -> Self {
+        self.ingest_threads = threads;
         self
     }
 }

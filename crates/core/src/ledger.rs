@@ -11,8 +11,10 @@ use blockprov_consensus::pos::ValidatorSet;
 use blockprov_consensus::pow;
 use blockprov_contracts::ContractRuntime;
 use blockprov_crypto::sha256::{sha256, Hash256};
-use blockprov_ledger::block::BlockHash;
-use blockprov_ledger::chain::{Chain, ChainConfig, TxInclusionProof, ValidationError};
+use blockprov_ledger::block::{Block, BlockHash};
+use blockprov_ledger::chain::{
+    AppendOutcome, BatchError, Chain, ChainConfig, TxInclusionProof, ValidationError,
+};
 use blockprov_ledger::mempool::{Mempool, MempoolError};
 use blockprov_ledger::tx::{AccountId, Transaction, TxId};
 use blockprov_provenance::capture::{CaptureError, CapturePipeline, DataOperation};
@@ -45,6 +47,9 @@ pub enum CoreError {
     /// The durable transaction index failed a read (corruption or I/O) —
     /// surfaced loudly instead of rebuilding a partial provenance graph.
     IndexIo(std::io::Error),
+    /// A batched block ingest stopped at an invalid block. Blocks before
+    /// it committed; the failing block and everything after it did not.
+    Batch(BatchError),
 }
 
 impl fmt::Display for CoreError {
@@ -59,6 +64,7 @@ impl fmt::Display for CoreError {
             CoreError::MiningFailed => write!(f, "mining budget exhausted"),
             CoreError::UnknownRecord(r) => write!(f, "unknown record {r}"),
             CoreError::IndexIo(e) => write!(f, "transaction index read failed: {e}"),
+            CoreError::Batch(e) => write!(f, "ingest: {e}"),
         }
     }
 }
@@ -83,6 +89,11 @@ impl From<CaptureError> for CoreError {
 impl From<GraphError> for CoreError {
     fn from(e: GraphError) -> Self {
         CoreError::Graph(e)
+    }
+}
+impl From<BatchError> for CoreError {
+    fn from(e: BatchError) -> Self {
+        CoreError::Batch(e)
     }
 }
 
@@ -146,6 +157,7 @@ impl ProvenanceLedger {
             timestamp_tolerance_ms: 5_000,
             enforce_nonces: false,
             finality_depth: config.finality_depth,
+            ingest_threads: config.ingest_threads,
         }
     }
 
@@ -534,6 +546,56 @@ impl ProvenanceLedger {
             self.record_tx.insert(rid, txid);
         }
         Ok(outcome.hash)
+    }
+
+    /// Ingest a batch of externally produced blocks (e.g. replicated from
+    /// a peer) through the two-stage pipeline: stateless validation fans
+    /// out across [`LedgerConfig::ingest_threads`] workers, the serialized
+    /// commit section applies fork choice, finality and the provenance
+    /// layer per committed block. Blocks before the first invalid one
+    /// commit — provenance absorbed — and the error reports which block
+    /// failed and why.
+    pub fn ingest_blocks(&mut self, blocks: Vec<Block>) -> Result<Vec<AppendOutcome>, CoreError> {
+        let (outcomes, err) = match self.chain.append_batch(blocks) {
+            Ok(outcomes) => (outcomes, None),
+            Err(e) => (e.committed.clone(), Some(e)),
+        };
+        for outcome in &outcomes {
+            let Some(block) = self.chain.block(&outcome.hash) else {
+                continue; // already pruned by finality — nothing to absorb
+            };
+            self.absorb_block_provenance(&block)?;
+        }
+        match err {
+            None => Ok(outcomes),
+            Some(e) => Err(CoreError::Batch(e)),
+        }
+    }
+
+    /// Fold one committed block into the provenance layer: logical clock,
+    /// author nonces, record→tx anchoring, graph and query indexes — the
+    /// same per-transaction work [`Self::rehydrate_provenance`] does on
+    /// replay.
+    fn absorb_block_provenance(&mut self, block: &Block) -> Result<(), CoreError> {
+        self.now_ms = self.now_ms.max(block.header.timestamp_ms);
+        for tx in &block.txs {
+            if tx.kind != txkind::PROVENANCE {
+                continue;
+            }
+            let Some(record) = Self::decode_record_prefix(&tx.payload) else {
+                continue;
+            };
+            let record_id = record.id();
+            self.now_ms = self.now_ms.max(record.timestamp_ms);
+            let nonce = self.nonces.entry(tx.author).or_insert(0);
+            *nonce = (*nonce).max(tx.nonce + 1);
+            self.record_tx.insert(record_id, tx.id());
+            if self.graph.get(&record_id).is_none() {
+                self.graph.insert(record.clone())?;
+                self.engine.index_record(record_id, &record);
+            }
+        }
+        Ok(())
     }
 
     /// Number of transactions waiting to be sealed.

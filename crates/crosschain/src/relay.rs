@@ -150,16 +150,31 @@ impl RelayChain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockprov_ledger::block::Block;
     use blockprov_ledger::chain::{Chain, ChainConfig};
     use blockprov_ledger::tx::{AccountId, Transaction};
 
+    /// Build the block stream up front and ingest it through the batched
+    /// pipeline — the shape a relay consuming a foreign chain sees.
     fn chain_with_blocks(n: u64) -> Chain {
         let mut c = Chain::new(ChainConfig::default());
-        for i in 0..n {
-            let tx = Transaction::new(AccountId::from_name("u"), i, i, 1, vec![i as u8]);
-            let b = c.assemble_next(1000 * (i + 1), AccountId::from_name("s"), 0, vec![tx]);
-            c.append(b).unwrap();
-        }
+        let mut parent = c.tip();
+        let blocks: Vec<Block> = (0..n)
+            .map(|i| {
+                let tx = Transaction::new(AccountId::from_name("u"), i, i, 1, vec![i as u8]);
+                let b = Block::assemble(
+                    i + 1,
+                    parent,
+                    1000 * (i + 1),
+                    AccountId::from_name("s"),
+                    0,
+                    vec![tx],
+                );
+                parent = b.hash();
+                b
+            })
+            .collect();
+        c.append_batch(blocks).unwrap();
         c
     }
 
@@ -196,13 +211,26 @@ mod tests {
     fn forged_proof_rejected_by_relay() {
         let chain = chain_with_blocks(4);
         let other = {
-            // A different chain with different txs at the same heights.
+            // A different chain with different txs at the same heights,
+            // ingested as one batch.
             let mut c = Chain::new(ChainConfig::default());
-            for i in 0..4 {
-                let tx = Transaction::new(AccountId::from_name("evil"), i, i, 1, vec![0xFF]);
-                let b = c.assemble_next(2000 * (i + 1), AccountId::from_name("s"), 0, vec![tx]);
-                c.append(b).unwrap();
-            }
+            let mut parent = c.tip();
+            let blocks: Vec<Block> = (0..4)
+                .map(|i| {
+                    let tx = Transaction::new(AccountId::from_name("evil"), i, i, 1, vec![0xFF]);
+                    let b = Block::assemble(
+                        i + 1,
+                        parent,
+                        2000 * (i + 1),
+                        AccountId::from_name("s"),
+                        0,
+                        vec![tx],
+                    );
+                    parent = b.hash();
+                    b
+                })
+                .collect();
+            c.append_batch(blocks).unwrap();
             c
         };
         let mut relay = RelayChain::new();

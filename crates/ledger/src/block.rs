@@ -182,9 +182,19 @@ impl Block {
 
     /// Merkle root over transaction ids.
     pub fn tx_root(txs: &[Transaction]) -> Hash256 {
-        let leaves: Vec<Hash256> = txs
+        let ids: Vec<TxId> = txs.iter().map(Transaction::id).collect();
+        Self::tx_root_from_ids(&ids)
+    }
+
+    /// Merkle root over already-derived transaction ids.
+    ///
+    /// The parallel ingest stage derives every tx id once and reuses them
+    /// for both the root recomputation and the commit-side indexes, so the
+    /// root check must not re-derive them.
+    pub fn tx_root_from_ids(ids: &[TxId]) -> Hash256 {
+        let leaves: Vec<Hash256> = ids
             .iter()
-            .map(|t| blockprov_crypto::merkle::leaf_hash(t.id().0.as_bytes()))
+            .map(|id| blockprov_crypto::merkle::leaf_hash(id.0.as_bytes()))
             .collect();
         MerkleTree::from_leaf_hashes(leaves).root()
     }

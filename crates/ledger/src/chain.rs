@@ -13,6 +13,7 @@
 use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
 use crate::index::{IndexEntry, MergeStats, TxIndex};
 use crate::meta::MetaStore;
+use crate::pool::ValidationPool;
 use crate::store::{BlockStore, CompactionStats, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
@@ -53,6 +54,12 @@ pub struct ChainConfig {
     /// are demoted from the store's hot tier. `None` disables finality
     /// (every historical fork stays replayable forever).
     pub finality_depth: Option<u64>,
+    /// Worker threads for the stateless ingest stage used by
+    /// [`Chain::append_batch`] and replay (hashing, Merkle recomputation,
+    /// signature and PoW checks). `0` = one per available core; `1` runs
+    /// the stage inline with no worker threads. The serialized commit
+    /// stage is unaffected — chain state is byte-identical at any setting.
+    pub ingest_threads: usize,
 }
 
 impl Default for ChainConfig {
@@ -64,6 +71,7 @@ impl Default for ChainConfig {
             timestamp_tolerance_ms: 5_000,
             enforce_nonces: false,
             finality_depth: None,
+            ingest_threads: 0,
         }
     }
 }
@@ -153,7 +161,158 @@ struct BlockMeta {
     height: u64,
     total_work: u128,
     parent: BlockHash,
+    /// Header timestamp, carried here so validating a child never re-reads
+    /// the parent block from the store/LRU just for its clock.
+    timestamp_ms: u64,
 }
+
+/// Rank of a validation check in [`Chain::validate`]'s canonical order.
+///
+/// The parallel ingest stage runs the *stateless* checks out of band; when
+/// the serialized commit interleaves its stateful checks it uses these ranks
+/// to surface the same error a fully sequential `validate` would have.
+fn check_rank(e: &ValidationError) -> u8 {
+    match e {
+        ValidationError::Duplicate(_) => 0,
+        ValidationError::BadVersion(_) => 1,
+        ValidationError::UnknownParent(_) => 2,
+        ValidationError::BadHeight { .. } => 3,
+        ValidationError::BelowFinality { .. } => 4,
+        ValidationError::TooManyTxs { .. } => 5,
+        ValidationError::BadTxRoot => 6,
+        ValidationError::DuplicateTx(_) => 7,
+        ValidationError::BadTimestamp { .. } => 8,
+        ValidationError::BadProofOfWork => 9,
+        ValidationError::BadSignature(_) => 10,
+        ValidationError::BadNonce { .. } => 11,
+    }
+}
+
+/// A block that has been through the stateless validation stage.
+///
+/// Carries everything the serialized commit section needs so the hot path
+/// never re-hashes: the verified header hash, the derived transaction ids
+/// (in block order) and the header's proof-of-work contribution. Stateless
+/// checks that failed are *recorded*, not raised — the commit section
+/// interleaves them with the stateful checks in canonical order so batched
+/// ingest reports the exact error sequential [`Chain::append`] would.
+#[derive(Debug, Clone)]
+pub struct PrevalidatedBlock {
+    /// The block, ready to commit.
+    pub block: Block,
+    /// Header hash (the block identity), computed once.
+    pub hash: BlockHash,
+    /// Transaction ids in block order, computed once.
+    pub tx_ids: Vec<TxId>,
+    /// Work contributed under the heaviest-chain rule.
+    pub work: u128,
+    /// First stateless check failure in canonical order, if any.
+    pub(crate) stateless_err: Option<ValidationError>,
+}
+
+impl PrevalidatedBlock {
+    /// Run every stateless check for `block` under `config`: header hash,
+    /// version, transaction count, per-tx id derivation, in-block duplicate
+    /// ids, Merkle root recomputation, PoW/difficulty and signature policy.
+    /// No chain state is consulted — this is the work
+    /// [`crate::pool::ValidationPool`] fans out across cores.
+    pub fn compute(block: Block, config: &ChainConfig) -> Self {
+        let hash = block.hash();
+        let work = block.header.work();
+        let tx_ids: Vec<TxId> = block.txs.iter().map(Transaction::id).collect();
+        let stateless_err = Self::stateless_err(&block, hash, &tx_ids, config).err();
+        Self {
+            block,
+            hash,
+            tx_ids,
+            work,
+            stateless_err,
+        }
+    }
+
+    /// The stateless checks in canonical rank order, first failure wins.
+    fn stateless_err(
+        block: &Block,
+        hash: BlockHash,
+        tx_ids: &[TxId],
+        config: &ChainConfig,
+    ) -> Result<(), ValidationError> {
+        if block.header.version != Block::VERSION {
+            return Err(ValidationError::BadVersion(block.header.version));
+        }
+        if block.txs.len() > config.max_block_txs {
+            return Err(ValidationError::TooManyTxs {
+                max: config.max_block_txs,
+                got: block.txs.len(),
+            });
+        }
+        if Block::tx_root_from_ids(tx_ids) != block.header.tx_root {
+            return Err(ValidationError::BadTxRoot);
+        }
+        let mut seen = HashSet::with_capacity(tx_ids.len());
+        for id in tx_ids {
+            if !seen.insert(*id) {
+                return Err(ValidationError::DuplicateTx(*id));
+            }
+        }
+        if config.require_pow && block.header.difficulty_bits == 0 {
+            return Err(ValidationError::BadProofOfWork);
+        }
+        if block.header.difficulty_bits > 0
+            && hash.0.leading_zero_bits() < block.header.difficulty_bits
+        {
+            return Err(ValidationError::BadProofOfWork);
+        }
+        match config.signature_policy {
+            SignaturePolicy::Off => {}
+            SignaturePolicy::IfPresent => {
+                for (tx, id) in block.txs.iter().zip(tx_ids) {
+                    if tx.signature.is_some() && !tx.verify_signature() {
+                        return Err(ValidationError::BadSignature(*id));
+                    }
+                }
+            }
+            SignaturePolicy::Required => {
+                for (tx, id) in block.txs.iter().zip(tx_ids) {
+                    if !tx.verify_signature() {
+                        return Err(ValidationError::BadSignature(*id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why (and where) a batched append stopped.
+///
+/// Blocks before `index` committed and their outcomes are returned; the
+/// failing block and everything after it were not committed. Chain state is
+/// exactly what a sequential [`Chain::append`] loop stopping at the same
+/// block would leave behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Position of the failing block within the submitted batch.
+    pub index: usize,
+    /// Why that block was rejected.
+    pub error: ValidationError,
+    /// Outcomes of the blocks before `index`, which committed.
+    pub committed: Vec<AppendOutcome>,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch append failed at block {} ({} committed): {}",
+            self.index,
+            self.committed.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// A proof that a transaction is included in a specific block.
 ///
@@ -227,9 +386,17 @@ impl ChainIndex {
     /// that exactly reverses this call.
     fn absorb(&mut self, block: &Block) -> BlockUndo {
         let hash = block.hash();
+        let tx_ids: Vec<TxId> = block.txs.iter().map(Transaction::id).collect();
+        self.absorb_with(block, hash, &tx_ids)
+    }
+
+    /// [`ChainIndex::absorb`] with the hash and transaction ids already
+    /// derived — the batched ingest path hands these in from the parallel
+    /// stateless stage so the serialized commit never re-hashes.
+    fn absorb_with(&mut self, block: &Block, hash: BlockHash, tx_ids: &[TxId]) -> BlockUndo {
         let mut undo = Vec::with_capacity(block.txs.len());
         for (i, tx) in block.txs.iter().enumerate() {
-            let id = tx.id();
+            let id = tx_ids[i];
             let prev_loc = self.tx_loc.insert(id, (hash, i as u32));
             self.by_author.entry(tx.author).or_default().push_back(id);
             self.by_kind.entry(tx.kind).or_default().push_back(id);
@@ -419,6 +586,9 @@ pub struct Chain {
     /// Blocks validated and appended since this instance was constructed —
     /// a snapshot fast-start re-appends only the non-finalized suffix.
     appended: u64,
+    /// Worker pool for the stateless ingest stage, spun up lazily on the
+    /// first batched append (and never for `ingest_threads == 1`).
+    pool: Option<ValidationPool>,
 }
 
 impl Chain {
@@ -484,6 +654,7 @@ impl Chain {
                 height: 0,
                 total_work: 0,
                 parent: BlockHash::ZERO,
+                timestamp_ms: arc.header.timestamp_ms,
             },
         );
         let mut index = ChainIndex::default();
@@ -523,6 +694,7 @@ impl Chain {
             index_synced_height: 0,
             last_snapshot_height: 0,
             appended: 0,
+            pool: None,
         }
     }
 
@@ -606,11 +778,50 @@ impl Chain {
 
     /// Re-append scanned blocks in height order, then check that skipping
     /// orphans did not silently truncate the canonical chain.
+    ///
+    /// Replay runs through the same two-stage pipeline as live ingest:
+    /// bodies are fetched a chunk at a time (bounding resident memory),
+    /// prevalidated concurrently, and committed serially. Blocks that are
+    /// provably stale — duplicates, forks at or below the advancing
+    /// checkpoint, and blocks whose fork parents were pruned by finality
+    /// during this very replay — are skipped (compaction would have
+    /// dropped them); any other validation failure fails the replay loudly.
     fn replay_all(&mut self, order: Vec<(u64, BlockHash)>) -> std::io::Result<()> {
+        const REPLAY_CHUNK: usize = 256;
         let mut max_orphan_height = 0u64;
-        for (h, hash) in order {
-            if self.replay_append(&hash)? {
-                max_orphan_height = max_orphan_height.max(h);
+        for chunk in order.chunks(REPLAY_CHUNK) {
+            let mut pending: Vec<(u64, BlockHash)> = Vec::with_capacity(chunk.len());
+            let mut bodies: Vec<Block> = Vec::with_capacity(chunk.len());
+            for &(h, hash) in chunk {
+                if self.meta.contains_key(&hash) {
+                    continue; // genesis (or a duplicate frame)
+                }
+                let block = self.store.get(&hash).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("replay: scanned block {hash} missing from store"),
+                    )
+                })?;
+                pending.push((h, hash));
+                bodies.push((*block).clone());
+            }
+            let pres = self.prevalidate_batch(bodies);
+            for ((h, hash), pre) in pending.into_iter().zip(pres) {
+                match self.commit_prevalidated(pre) {
+                    Ok(_)
+                    | Err(
+                        ValidationError::Duplicate(_) | ValidationError::BelowFinality { .. },
+                    ) => {}
+                    Err(ValidationError::UnknownParent(_)) => {
+                        max_orphan_height = max_orphan_height.max(h);
+                    }
+                    Err(e) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("replay: stored block {hash} no longer valid: {e}"),
+                        ))
+                    }
+                }
             }
         }
         // An orphan *above* the final tip can only be the descendant of a
@@ -629,36 +840,6 @@ impl Chain {
             ));
         }
         Ok(())
-    }
-
-    /// Re-append one scanned block during replay. Blocks that are provably
-    /// stale — duplicates, forks at or below the advancing checkpoint, and
-    /// blocks whose fork parents were pruned by finality during this very
-    /// replay — are skipped (compaction would have dropped them); any other
-    /// validation failure still fails the replay loudly. Returns whether
-    /// the block was skipped as an orphan (unknown parent), which the
-    /// caller audits against the final tip height.
-    fn replay_append(&mut self, hash: &BlockHash) -> std::io::Result<bool> {
-        if self.meta.contains_key(hash) {
-            return Ok(false); // genesis (or a duplicate frame)
-        }
-        let block = self.store.get(hash).ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("replay: scanned block {hash} missing from store"),
-            )
-        })?;
-        match self.append((*block).clone()) {
-            Ok(_)
-            | Err(ValidationError::Duplicate(_) | ValidationError::BelowFinality { .. }) => {
-                Ok(false)
-            }
-            Err(ValidationError::UnknownParent(_)) => Ok(true),
-            Err(e) => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("replay: stored block {hash} no longer valid: {e}"),
-            )),
-        }
     }
 
     /// Seed a chain from a checkpoint snapshot and replay only the
@@ -735,6 +916,7 @@ impl Chain {
                 height: snap.height,
                 total_work: 0,
                 parent: cp_block.header.prev,
+                timestamp_ms: cp_block.header.timestamp_ms,
             },
         );
         let mut at_height = HashMap::new();
@@ -757,6 +939,7 @@ impl Chain {
             index_synced_height: snap.index_durable_height,
             last_snapshot_height: snap.height,
             appended: 0,
+            pool: None,
         };
         chain.heal_index(&snap)?;
         // Replay only the non-finalized suffix: header-only scan, then
@@ -1247,13 +1430,35 @@ impl Chain {
     }
 
     /// Validate a block against its parent without inserting it.
+    ///
+    /// Composed from the same two stages batched ingest uses — stateless
+    /// prevalidation ([`PrevalidatedBlock::compute`]) plus the stateful
+    /// checks — so single-block and batched paths report identical errors.
     pub fn validate(&self, block: &Block) -> Result<(), ValidationError> {
         let hash = block.hash();
+        let tx_ids: Vec<TxId> = block.txs.iter().map(Transaction::id).collect();
+        let stateless =
+            PrevalidatedBlock::stateless_err(block, hash, &tx_ids, &self.config).err();
+        self.validate_stateful(block, hash, stateless.as_ref())
+    }
+
+    /// The stateful (chain-dependent) validation checks, interleaved with a
+    /// recorded stateless failure so the first error *in canonical check
+    /// order* is the one reported — exactly what a fully sequential
+    /// [`Chain::validate`] produces.
+    fn validate_stateful(
+        &self,
+        block: &Block,
+        hash: BlockHash,
+        stateless: Option<&ValidationError>,
+    ) -> Result<(), ValidationError> {
+        // A stateless failure outranks any stateful check at or above `rank`.
+        let pending = |rank: u8| stateless.filter(|e| check_rank(e) < rank).cloned();
         if self.meta.contains_key(&hash) {
             return Err(ValidationError::Duplicate(hash));
         }
-        if block.header.version != Block::VERSION {
-            return Err(ValidationError::BadVersion(block.header.version));
+        if let Some(e) = pending(2) {
+            return Err(e); // BadVersion
         }
         let parent_meta = self
             .meta
@@ -1273,56 +1478,20 @@ impl Chain {
                 got: block.header.height,
             });
         }
-        if block.txs.len() > self.config.max_block_txs {
-            return Err(ValidationError::TooManyTxs {
-                max: self.config.max_block_txs,
-                got: block.txs.len(),
-            });
+        if let Some(e) = pending(8) {
+            return Err(e); // TooManyTxs / BadTxRoot / DuplicateTx
         }
-        if !block.tx_root_valid() {
-            return Err(ValidationError::BadTxRoot);
-        }
-        // Duplicate tx ids within the block.
-        let mut seen = std::collections::HashSet::with_capacity(block.txs.len());
-        for tx in &block.txs {
-            let id = tx.id();
-            if !seen.insert(id) {
-                return Err(ValidationError::DuplicateTx(id));
-            }
-        }
-        // Timestamps: non-decreasing within tolerance.
-        let parent = self.store.get(&block.header.prev).expect("parent stored");
-        let parent_ms = parent.header.timestamp_ms;
+        // Timestamps: non-decreasing within tolerance, against the parent
+        // clock carried in `BlockMeta` — no store read on the hot path.
+        let parent_ms = parent_meta.timestamp_ms;
         if block.header.timestamp_ms + self.config.timestamp_tolerance_ms < parent_ms {
             return Err(ValidationError::BadTimestamp {
                 parent_ms,
                 block_ms: block.header.timestamp_ms,
             });
         }
-        // Proof of work.
-        if self.config.require_pow && block.header.difficulty_bits == 0 {
-            return Err(ValidationError::BadProofOfWork);
-        }
-        if block.header.difficulty_bits > 0 && !block.header.meets_difficulty() {
-            return Err(ValidationError::BadProofOfWork);
-        }
-        // Signatures.
-        match self.config.signature_policy {
-            SignaturePolicy::Off => {}
-            SignaturePolicy::IfPresent => {
-                for tx in &block.txs {
-                    if tx.signature.is_some() && !tx.verify_signature() {
-                        return Err(ValidationError::BadSignature(tx.id()));
-                    }
-                }
-            }
-            SignaturePolicy::Required => {
-                for tx in &block.txs {
-                    if !tx.verify_signature() {
-                        return Err(ValidationError::BadSignature(tx.id()));
-                    }
-                }
-            }
+        if let Some(e) = pending(11) {
+            return Err(e); // BadProofOfWork / BadSignature
         }
         // Nonces: enforced only for blocks extending the canonical tip (fork
         // branches are re-validated wholesale if they win fork choice).
@@ -1347,13 +1516,74 @@ impl Chain {
 
     /// Validate and insert a block, updating fork choice and finality.
     pub fn append(&mut self, block: Block) -> Result<AppendOutcome, ValidationError> {
-        self.validate(&block)?;
-        let hash = block.hash();
+        self.commit_prevalidated(PrevalidatedBlock::compute(block, &self.config))
+    }
+
+    /// Validate and insert a batch of blocks through the two-stage ingest
+    /// pipeline: stage 1 runs every stateless check concurrently on the
+    /// [`ValidationPool`] (sized by [`ChainConfig::ingest_threads`]), stage
+    /// 2 commits serially in batch order — stateful checks, fork choice,
+    /// index absorption and finality, unchanged from [`Chain::append`].
+    ///
+    /// Commit stops at the first invalid block: earlier blocks are in and
+    /// their outcomes returned inside the error, the failing block and all
+    /// later ones are not. The resulting chain state — tip, canonical
+    /// hashes, indexes, nonces — is byte-identical to appending the same
+    /// blocks one at a time.
+    pub fn append_batch(&mut self, blocks: Vec<Block>) -> Result<Vec<AppendOutcome>, BatchError> {
+        let pres = self.prevalidate_batch(blocks);
+        let mut committed = Vec::with_capacity(pres.len());
+        for (index, pre) in pres.into_iter().enumerate() {
+            match self.commit_prevalidated(pre) {
+                Ok(outcome) => committed.push(outcome),
+                Err(error) => {
+                    return Err(BatchError {
+                        index,
+                        error,
+                        committed,
+                    })
+                }
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Stage 1 of the ingest pipeline: fan the stateless work for a batch
+    /// out across the validation pool (spun up lazily; inline when the
+    /// resolved thread count is 1). Results come back in batch order.
+    fn prevalidate_batch(&mut self, blocks: Vec<Block>) -> Vec<PrevalidatedBlock> {
+        if self.pool.is_none() {
+            self.pool = Some(ValidationPool::new(self.config.ingest_threads));
+        }
+        self.pool
+            .as_ref()
+            .expect("pool initialized above")
+            .prevalidate(blocks, &self.config)
+    }
+
+    /// Stage 2 of the ingest pipeline: the serialized commit section.
+    ///
+    /// Runs the stateful checks (interleaved with any recorded stateless
+    /// failure), then the unchanged fork-choice / absorb / undo / finality
+    /// machinery — reusing the hash, tx ids and work derived in stage 1.
+    fn commit_prevalidated(
+        &mut self,
+        pre: PrevalidatedBlock,
+    ) -> Result<AppendOutcome, ValidationError> {
+        self.validate_stateful(&pre.block, pre.hash, pre.stateless_err.as_ref())?;
+        let PrevalidatedBlock {
+            block,
+            hash,
+            tx_ids,
+            work,
+            ..
+        } = pre;
         let parent_meta = self.meta[&block.header.prev];
         let meta = BlockMeta {
             height: block.header.height,
-            total_work: parent_meta.total_work.saturating_add(block.header.work()),
+            total_work: parent_meta.total_work.saturating_add(work),
             parent: block.header.prev,
+            timestamp_ms: block.header.timestamp_ms,
         };
         let extends_tip = block.header.prev == self.tip;
         let arc = self.store.put(block).expect("store put");
@@ -1367,7 +1597,7 @@ impl Chain {
             // Fast path: extend canonical chain incrementally.
             self.tip = hash;
             self.canonical.push_back(hash);
-            let undo = self.index.absorb(&arc);
+            let undo = self.index.absorb_with(&arc, hash, &tx_ids);
             self.undo.insert(hash, undo);
             self.advance_finality();
             Ok(AppendOutcome {

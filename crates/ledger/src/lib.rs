@@ -18,16 +18,21 @@ pub mod chain;
 pub mod index;
 pub mod mempool;
 pub mod meta;
+pub mod pool;
 pub mod segment;
 pub mod store;
 pub mod tx;
 
 pub use block::{Block, BlockHash, BlockHeader, Checkpoint};
 pub use cache::LruCache;
-pub use chain::{Chain, ChainConfig, ResidentMetadata, SignaturePolicy, ValidationError};
+pub use chain::{
+    BatchError, Chain, ChainConfig, PrevalidatedBlock, ResidentMetadata, SignaturePolicy,
+    ValidationError,
+};
 pub use index::{IndexEntry, MergeStats, TxIndex, TxIndexConfig};
 pub use mempool::Mempool;
 pub use meta::{HeightMap, MetaConfig, MetaStore};
+pub use pool::ValidationPool;
 pub use segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
 pub use store::{BlockStore, CompactionStats, FileStore, MemStore};
 pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

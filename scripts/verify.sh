@@ -2,10 +2,15 @@
 # The single verification entrypoint shared by CI and local builds.
 #
 # Runs the tier-1 command from ROADMAP.md (release build + full test
-# suite), compiles every criterion bench target so a bench-only breakage
-# cannot slip past review, and smoke-runs the ledger_scale bench (the
-# tiered-storage + spilled-index + metadata-tier + compaction harness) so
-# the scale measurement path cannot silently rot either.
+# suite), re-runs the ingest-pipeline equivalence property on both the
+# inline and the pooled validation paths, compiles every criterion bench
+# target so a bench-only breakage cannot slip past review, and smoke-runs
+# the ledger_scale bench (the tiered-storage + spilled-index +
+# metadata-tier + ingest-scaling + compaction harness) so the scale
+# measurement path cannot silently rot either. The smoke run writes the
+# machine-readable perf artifact BENCH_ledger_scale.json at the repo root
+# (append blk/s per backend, blk/s per ingest thread count, resident
+# metadata bytes).
 #
 # Flags:
 #   --dist   additionally build the bench crate under the fat-LTO `dist`
@@ -32,6 +37,12 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== ingest pipeline equivalence: INGEST_THREADS=1 (inline commit path) =="
+INGEST_THREADS=1 cargo test -q -p blockprov-ledger --test ingest_equiv
+
+echo "== ingest pipeline equivalence: INGEST_THREADS=4 (pooled stateless stage) =="
+INGEST_THREADS=4 cargo test -q -p blockprov-ledger --test ingest_equiv
+
 echo "== benches compile: cargo bench --no-run =="
 cargo bench --no-run
 
@@ -42,9 +53,15 @@ fi
 
 echo "== bench smoke: cargo bench -p blockprov-bench --bench ledger_scale -- lookup =="
 # The filter trims the timing loops to the lookup groups; the one-shot
-# append/cold-start/compaction measurements always run, which is the point
-# — they exercise the 100k-block tiered, spilled-index, metadata-tier
-# (snapshot fast-start vs full replay) and compaction paths.
-cargo bench -p blockprov-bench --bench ledger_scale -- lookup
+# append/cold-start/ingest-scaling/compaction measurements always run,
+# which is the point — they exercise the 100k-block tiered, spilled-index,
+# metadata-tier (snapshot fast-start vs full replay), batched-ingest and
+# compaction paths. INGEST_SCALE_BLOCKS trims the per-thread-count scaling
+# streams to smoke length; CRITERION_JSON captures every median and metric
+# into the tracked perf-trajectory artifact.
+INGEST_SCALE_BLOCKS="${INGEST_SCALE_BLOCKS:-2000}" \
+CRITERION_JSON="$PWD/BENCH_ledger_scale.json" \
+  cargo bench -p blockprov-bench --bench ledger_scale -- lookup
+echo "perf artifact: BENCH_ledger_scale.json"
 
 echo "verify.sh: all checks passed"

@@ -303,6 +303,65 @@ fn results() -> &'static Mutex<Vec<(String, u128)>> {
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Custom scalar metrics recorded this process, in run order. Benches use
+/// these for derived numbers a timing median cannot express — throughput at
+/// a thread count, resident bytes — and the `CRITERION_JSON` output mode
+/// emits them alongside the medians.
+fn metrics() -> &'static Mutex<Vec<(String, f64, String)>> {
+    static METRICS: OnceLock<Mutex<Vec<(String, f64, String)>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Record a named scalar metric (e.g. `("append/tiered/threads/4",
+/// 51_234.0, "blk/s")`). Printed immediately and included in the
+/// `CRITERION_JSON` artifact written by [`finalize`].
+pub fn record_metric(name: &str, value: f64, unit: &str) {
+    println!("metric: {name:<52} {value:>14.1} {unit}");
+    metrics()
+        .lock()
+        .expect("metrics lock")
+        .push((name.to_string(), value, unit.to_string()));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the machine-readable run artifact: every timing median (ns) and
+/// every custom metric, in run order.
+fn render_json(medians: &[(String, u128)], metrics: &[(String, f64, String)]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, ns)) in medians.iter().enumerate() {
+        let sep = if i + 1 < medians.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {ns}}}{sep}\n",
+            json_escape(name)
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": [\n");
+    for (i, (name, value, unit)) in metrics.iter().enumerate() {
+        let sep = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {value}, \"unit\": \"{}\"}}{sep}\n",
+            json_escape(name),
+            json_escape(unit)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Where baselines live: `CRITERION_BASELINE_DIR`, else
 /// `<workspace root>/target/criterion-baselines` (found by walking up to
 /// the nearest `Cargo.lock`), else `target/criterion-baselines` under cwd.
@@ -391,6 +450,22 @@ fn compare_medians(
 pub fn finalize() {
     let cli = cli();
     let medians = results().lock().expect("results lock").clone();
+    // JSON artifact first: a later baseline-regression exit must not lose
+    // the measurements that demonstrate the regression.
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let recorded = metrics().lock().expect("metrics lock").clone();
+            let body = render_json(&medians, &recorded);
+            match std::fs::write(&path, body) {
+                Ok(()) => println!(
+                    "json: wrote {path} ({} benchmarks, {} metrics)",
+                    medians.len(),
+                    recorded.len()
+                ),
+                Err(e) => eprintln!("failed to write CRITERION_JSON={path}: {e}"),
+            }
+        }
+    }
     if let Some(name) = &cli.save_baseline {
         match save_baseline(name, &medians) {
             Ok(path) => println!("baseline '{name}' saved: {} ({} benchmarks)", path.display(), medians.len()),
@@ -712,6 +787,32 @@ mod tests {
         assert!(report[0].contains("no baseline"));
         assert!(regressions.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_artifact_renders_medians_and_metrics() {
+        let medians = vec![
+            ("group/append".to_string(), 1_234u128),
+            ("group/\"quoted\"".to_string(), 99u128),
+        ];
+        let recorded = vec![(
+            "append/threads/4".to_string(),
+            51_234.5f64,
+            "blk/s".to_string(),
+        )];
+        let body = render_json(&medians, &recorded);
+        assert!(body.contains("\"name\": \"group/append\", \"median_ns\": 1234"));
+        assert!(body.contains("\\\"quoted\\\""), "quotes must be escaped");
+        assert!(body.contains("\"value\": 51234.5, \"unit\": \"blk/s\""));
+        // Structure sanity: balanced braces/brackets, both arrays present.
+        assert!(body.starts_with("{\n"));
+        assert!(body.ends_with("}\n"));
+        assert!(body.contains("\"benchmarks\": ["));
+        assert!(body.contains("\"metrics\": ["));
+        // Empty run still renders valid structure.
+        let empty = render_json(&[], &[]);
+        assert!(empty.contains("\"benchmarks\": [\n  ]"));
+        assert!(empty.contains("\"metrics\": [\n  ]"));
     }
 
     #[test]
