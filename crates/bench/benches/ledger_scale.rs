@@ -12,7 +12,10 @@
 //!   uniform (sweep over all history, mostly cold-tier reads), and the
 //!   spilled-index point/secondary query path (warm page cache vs sweep);
 //! * one-shot: segment compaction on a fork-heavy history — reclaimed
-//!   bytes and full canonical-scan wall clock before/after `compact`.
+//!   bytes and full canonical-scan wall clock before/after `compact`;
+//! * one-shot: cold-start sweep — snapshot fast-start wall clock at
+//!   10k/50k/100k-block histories (`cold_start/*`), which the manifest's
+//!   height fences should keep flat as history grows.
 
 use blockprov_ledger::block::Block;
 use blockprov_ledger::chain::{Chain, ChainConfig};
@@ -302,6 +305,52 @@ fn report_append_throughput() -> (
     (mem, mem_ids, tiered, tiered_ids, spilled, spilled_ids, vec![dir, sdir, mdir])
 }
 
+/// One-shot cold-start sweep: snapshot fast-start wall clock at several
+/// history sizes. With the manifest's per-segment height fences, fast
+/// start skips every sealed segment wholly below the checkpoint and reads
+/// O(finality window), so the curve should stay flat as history grows —
+/// `cold_start/100k` within noise of `cold_start/10k` is the acceptance
+/// gate. `COLD_START_BLOCKS` caps the largest size (CI smoke runs set
+/// 10000 and get just the first point).
+fn report_cold_start_sweep() {
+    let cap: u64 = std::env::var("COLD_START_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SCALE_BLOCKS);
+    for blocks in [10_000u64, 50_000, 100_000] {
+        if blocks > cap {
+            continue;
+        }
+        let dir = tiered_dir(&format!("coldstart-{blocks}"));
+        let mut chain = meta_chain(&dir);
+        let _ = grow(&mut chain, blocks);
+        chain.sync_meta().expect("sync meta");
+        drop(chain);
+        let t = Instant::now();
+        let fast = Chain::replay_with_tiers(
+            meta_tier_store(&dir),
+            Some(meta_tier_index(&dir)),
+            meta_tier_meta(&dir),
+            chain_config(),
+        )
+        .expect("fast start");
+        let dt = t.elapsed();
+        record_metric(
+            &format!("cold_start/{}k", blocks / 1_000),
+            dt.as_secs_f64() * 1_000.0,
+            "ms",
+        );
+        println!(
+            "ledger_scale cold start sweep [{blocks} blocks]: fast-start {dt:.2?}, \
+             re-absorbed {} blocks, tip height {}",
+            fast.appended_blocks(),
+            fast.height(),
+        );
+        drop(fast);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// One-shot ingest-pipeline scaling curve: blocks/s of `append_batch` over
 /// the all-tiers backend at 1/2/4/8 stateless-stage worker threads.
 ///
@@ -532,6 +581,7 @@ fn bench_ledger_scale(c: &mut Criterion) {
     let (hits, misses) = spilled.tx_index().expect("index").cache_stats();
     println!("ledger_scale spilled-index page cache: {hits} hits / {misses} misses");
 
+    report_cold_start_sweep();
     report_ingest_scaling();
     report_compaction();
 

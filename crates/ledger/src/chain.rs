@@ -11,6 +11,7 @@
 //! paired with [`crate::segment::TieredStore`].
 
 use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
+use crate::floor::FloorEntry;
 use crate::index::{IndexEntry, MergeStats, TxIndex};
 use crate::meta::MetaStore;
 use crate::pool::ValidationPool;
@@ -18,8 +19,8 @@ use crate::store::{BlockStore, CompactionStats, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
 use blockprov_crypto::sha256::Hash256;
-use blockprov_wire::meta::{CheckpointSnapshot, META_VERSION};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use blockprov_wire::meta::{CheckpointSnapshot, SNAPSHOT_VERSION};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -517,6 +518,8 @@ pub struct ResidentMetadata {
     pub next_nonce: usize,
     /// Durable nonce-floor entries (distinct finalized authors; persisted
     /// in every snapshot, resident for O(1) validation).
+    /// Nonce-floor records staged in the floor store's memory tail (the
+    /// floors themselves page to disk; this is the crash-lossy window).
     pub nonce_floor: usize,
     /// Reorg undo records (always bounded by the finality window).
     pub undo: usize,
@@ -556,10 +559,7 @@ pub struct Chain {
     /// Canonical block hashes for heights `canonical_base..=height`.
     canonical: VecDeque<BlockHash>,
     index: ChainIndex,
-    /// Durable per-author nonce floor over finalized history (persisted in
-    /// each snapshot). Only raised when a metadata tier is attached; the
-    /// two-tier [`Chain::next_nonce_for`] merges it with the mutable tier.
-    nonce_floor: HashMap<AccountId, u64>,
+
     /// Undo records for canonical blocks above the finality checkpoint —
     /// exactly the blocks a reorg may still un-absorb.
     undo: HashMap<BlockHash, BlockUndo>,
@@ -580,6 +580,11 @@ pub struct Chain {
     /// Height through which the durable tx index was last fully synced
     /// (recorded in snapshots; bounds crash-recovery re-derivation).
     index_synced_height: u64,
+    /// Height through which the nonce-floor store was last fully synced.
+    /// Floors raised above this height sit in the floor store's staged
+    /// tail (crash-lossy, re-derived from blocks on reopen); recorded in
+    /// snapshots as `floor_durable_height`.
+    floor_synced_height: u64,
     /// Checkpoint height of the last written snapshot (amortizes snapshot
     /// writes under `MetaConfig::snapshot_interval`).
     last_snapshot_height: u64,
@@ -685,13 +690,13 @@ impl Chain {
             canonical_base: 0,
             canonical: VecDeque::from([genesis]),
             index,
-            nonce_floor: HashMap::new(),
             undo: HashMap::new(),
             at_height,
             finalized_height: 0,
             tx_index,
             meta_tier,
             index_synced_height: 0,
+            floor_synced_height: 0,
             last_snapshot_height: 0,
             appended: 0,
             pool: None,
@@ -901,11 +906,6 @@ impl Chain {
                 snap.height
             )));
         }
-        let nonce_floor: HashMap<AccountId, u64> = snap
-            .next_nonce
-            .iter()
-            .map(|&(acct, n)| (AccountId(Hash256(acct)), n))
-            .collect();
         let mut meta = HashMap::new();
         // The checkpoint anchors fork choice: every later block's
         // total_work is relative to it, and relative order is all the
@@ -930,24 +930,28 @@ impl Chain {
             canonical_base: snap.height,
             canonical: VecDeque::from([cp_hash]),
             index: ChainIndex::default(),
-            nonce_floor,
             undo: HashMap::new(),
             at_height,
             finalized_height: snap.height,
             tx_index,
             meta_tier: Some(meta_tier),
             index_synced_height: snap.index_durable_height,
+            floor_synced_height: snap.floor_durable_height,
             last_snapshot_height: snap.height,
             appended: 0,
             pool: None,
         };
         chain.heal_index(&snap)?;
-        // Replay only the non-finalized suffix: header-only scan, then
-        // fetch and re-validate just the blocks above the checkpoint.
+        chain.heal_floors(&snap)?;
+        // Replay only the non-finalized suffix: a fenced header scan skips
+        // sealed segments wholly below the checkpoint (the manifest's
+        // per-segment height fences), so cold-start I/O is O(finality
+        // window), not O(history bytes). Over-visiting is allowed; the
+        // height filter keeps correctness independent of fence precision.
         let mut order: Vec<(u64, BlockHash)> = Vec::new();
         chain
             .store
-            .scan_headers(&mut |h, hash| {
+            .scan_headers_from(snap.height, &mut |h, hash| {
                 if h > snap.height {
                     order.push((h, hash));
                 }
@@ -1019,6 +1023,66 @@ impl Chain {
                 .as_mut()
                 .expect("checked above")
                 .append(entries)?;
+        }
+        Ok(())
+    }
+
+    /// Re-derive nonce floors a crash may have lost, mirroring
+    /// [`Chain::heal_index`]: floors at or below the snapshot's
+    /// `floor_durable_height` were synced to durable pages; anything above
+    /// it up to the checkpoint sat in the crash-lossy staged tail. A
+    /// partition whose durable watermark fell below what the snapshot
+    /// recorded (torn page truncated on open) drops the re-derivation
+    /// floor further. Floor appends are watermark-idempotent, so
+    /// over-covering costs reads, never duplicates.
+    fn heal_floors(&mut self, snap: &CheckpointSnapshot) -> std::io::Result<()> {
+        let meta = self.meta_tier.as_ref().expect("fast start has a meta tier");
+        let watermarks = meta.floors().partition_watermarks();
+        if !snap.floor_watermarks.is_empty() && watermarks.len() != snap.floor_watermarks.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot records {} floor partitions, floor store has {}",
+                    snap.floor_watermarks.len(),
+                    watermarks.len()
+                ),
+            ));
+        }
+        let mut from = snap.floor_durable_height;
+        for (current, recorded) in watermarks.iter().zip(&snap.floor_watermarks) {
+            if current < recorded {
+                from = from.min(*current);
+            }
+        }
+        if from >= snap.height {
+            return Ok(());
+        }
+        let mut floors: Vec<FloorEntry> = Vec::new();
+        for h in (from + 1)..=snap.height {
+            let hash = self.try_hash_at(h)?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("floor heal: no canonical hash at height {h}"),
+                )
+            })?;
+            let block = self.store.get(&hash).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("floor heal: canonical block {hash} missing from the block store"),
+                )
+            })?;
+            floors.extend(block.txs.iter().map(|tx| FloorEntry {
+                author: tx.author,
+                nonce: tx.nonce + 1,
+                height: h,
+            }));
+        }
+        if !floors.is_empty() {
+            self.meta_tier
+                .as_mut()
+                .expect("checked above")
+                .floors_mut()
+                .append(floors)?;
         }
         Ok(())
     }
@@ -1163,12 +1227,26 @@ impl Chain {
     /// Next expected nonce for an author — the two-tier merged accessor.
     ///
     /// The mutable tier covers authors with transactions in the
-    /// non-finalized suffix; the durable nonce floor (raised at each
-    /// finality advance and persisted in every snapshot) covers finalized
-    /// history. The maximum of the two is the full-history value.
+    /// non-finalized suffix; the disk-paged nonce-floor store (raised at
+    /// each finality advance) covers finalized history. The maximum of the
+    /// two is the full-history value. An active author resolves from the
+    /// floor store's staged tail or its hot page cache; only a cold author
+    /// costs a page read. An unreadable floor store reads as no floor
+    /// (matching [`BlockStore::get`]'s `Option` contract) after logging —
+    /// blocks stay authoritative and a replay rebuilds the floors.
     pub fn next_nonce_for(&self, author: &AccountId) -> u64 {
         let mutable = self.index.next_nonce.get(author).copied().unwrap_or(0);
-        let floor = self.nonce_floor.get(author).copied().unwrap_or(0);
+        let floor = match &self.meta_tier {
+            Some(meta) => meta
+                .floors()
+                .lookup(author, self.finalized_height)
+                .unwrap_or_else(|e| {
+                    eprintln!("ledger: nonce floor lookup failed: {e}");
+                    None
+                })
+                .unwrap_or(0),
+            None => 0,
+        };
         mutable.max(floor)
     }
 
@@ -1314,7 +1392,11 @@ impl Chain {
             meta: self.meta.len(),
             canonical: self.canonical.len(),
             next_nonce: self.index.next_nonce.len(),
-            nonce_floor: self.nonce_floor.len(),
+            nonce_floor: self
+                .meta_tier
+                .as_ref()
+                .map(|m| m.floors().staged_records())
+                .unwrap_or(0),
             undo: self.undo.len(),
             at_height: self.at_height.values().map(Vec::len).sum(),
         }
@@ -1334,10 +1416,21 @@ impl Chain {
     /// heals nothing and fast-starts immediately.
     pub fn sync_meta(&mut self) -> std::io::Result<()> {
         self.sync_index()?;
+        self.sync_floors()?;
         if let Some(meta) = &mut self.meta_tier {
             meta.height_map_mut().sync()?;
         }
         self.write_snapshot()?;
+        Ok(())
+    }
+
+    /// Force the floor store's staged tail into durable pages and advance
+    /// the floor durability watermark (no-op without a metadata tier).
+    fn sync_floors(&mut self) -> std::io::Result<()> {
+        if let Some(meta) = &mut self.meta_tier {
+            meta.floors_mut().sync()?;
+            self.floor_synced_height = self.finalized_height;
+        }
         Ok(())
     }
 
@@ -1350,24 +1443,19 @@ impl Chain {
         let cp_hash = self
             .suffix_hash(self.finalized_height)
             .expect("suffix covers the checkpoint");
-        // BTreeMap: the snapshot encoding is canonical (sorted by account).
-        let nonces: BTreeMap<[u8; 32], u64> = self
-            .nonce_floor
-            .iter()
-            .map(|(a, n)| (*a.0.as_bytes(), *n))
-            .collect();
         let meta = self.meta_tier.as_mut().expect("checked above");
         let snap = CheckpointSnapshot {
-            version: META_VERSION,
+            version: SNAPSHOT_VERSION,
             height: self.finalized_height,
             hash: *cp_hash.0.as_bytes(),
-            next_nonce: nonces.into_iter().collect(),
             index_watermarks: self
                 .tx_index
                 .as_ref()
                 .map(|ix| ix.partition_watermarks())
                 .unwrap_or_default(),
             index_durable_height: self.index_synced_height,
+            floor_watermarks: meta.floors().partition_watermarks(),
+            floor_durable_height: self.floor_synced_height,
             height_map_len: meta.height_map().durable_len(),
         };
         meta.write_snapshot(&snap)?;
@@ -1681,16 +1769,18 @@ impl Chain {
         // durable tier (when attached) so the mutable index keeps covering
         // only the non-finalized suffix.
         let mut spill: Vec<IndexEntry> = Vec::new();
+        let mut floors: Vec<FloorEntry> = Vec::new();
         let mut orphan_frontier: HashSet<BlockHash> = HashSet::new();
         let has_meta_tier = self.meta_tier.is_some();
         for h in (old_fin + 1)..=new_fin {
             let canon = self.suffix_hash(h).expect("suffix covers finalizing heights");
             if let Some(undo) = self.undo.remove(&canon) {
                 if has_meta_tier {
-                    for u in &undo.txs {
-                        let floor = self.nonce_floor.entry(u.author).or_insert(0);
-                        *floor = (*floor).max(u.nonce + 1);
-                    }
+                    floors.extend(undo.txs.iter().map(|u| FloorEntry {
+                        author: u.author,
+                        nonce: u.nonce + 1,
+                        height: h,
+                    }));
                 }
                 if self.tx_index.is_some() {
                     spill.extend(undo.txs.iter().enumerate().map(|(i, u)| IndexEntry {
@@ -1725,6 +1815,18 @@ impl Chain {
                 .expect("spill gathered only with an index")
                 .append(spill)
                 .expect("tx index append");
+        }
+        if has_meta_tier {
+            let meta = self.meta_tier.as_mut().expect("has_meta_tier");
+            if !floors.is_empty() {
+                meta.floors_mut().append(floors).expect("floor append");
+            }
+            // One flush for the whole advance: `HeightMap::push` buffers
+            // page cuts, so a batch of finalized heights costs one write
+            // barrier instead of one per page.
+            meta.height_map_mut()
+                .flush_pages()
+                .expect("height map flush");
         }
         if has_meta_tier {
             // The durable tier now serves finalized heights: prune the
@@ -1771,6 +1873,9 @@ impl Chain {
                 && new_fin.saturating_sub(self.index_synced_height) >= config.index_sync_interval
             {
                 self.sync_index().expect("tx index sync");
+            }
+            if new_fin.saturating_sub(self.floor_synced_height) >= config.index_sync_interval {
+                self.sync_floors().expect("floor sync");
             }
             if new_fin.saturating_sub(self.last_snapshot_height)
                 >= config.snapshot_interval.max(1)
@@ -1849,11 +1954,6 @@ impl Chain {
             }
         }
         for (author, n) in &self.index.next_nonce {
-            if rebuilt.next_nonce.get(author).map_or(true, |r| r < n) {
-                return false;
-            }
-        }
-        for (author, n) in &self.nonce_floor {
             if rebuilt.next_nonce.get(author).map_or(true, |r| r < n) {
                 return false;
             }

@@ -1,0 +1,780 @@
+//! Disk-paged per-author nonce floors: the last resident-metadata map taken
+//! off the heap.
+//!
+//! When a block finalizes, the chain raises each author's *nonce floor* —
+//! the smallest nonce a future transaction may carry — and prunes the
+//! author's mutable nonce entry. Before this module the floors lived in a
+//! resident `HashMap` serialized whole into every checkpoint snapshot, so
+//! resident memory and snapshot size both grew with the number of distinct
+//! authors ever seen: exactly the unbounded-metadata shape PR 4 removed for
+//! the height map. [`FloorStore`] pages floors to disk the way
+//! [`crate::index::TxIndex`] pages transaction entries: hash-partitioned
+//! append-only page files (`floor-NN.pages`) whose pages carry Bloom
+//! filters over their authors, with an LRU cache of decoded pages. The
+//! snapshot then records only per-partition height watermarks.
+//!
+//! A floor is `max(nonce + 1)` over an author's finalized transactions —
+//! note it is *not* monotone by height: a later finalized block can carry
+//! a lower nonce, so a lookup must take the maximum across the staged
+//! record and every page the Bloom filter admits. Lookups take a height
+//! ceiling (`h_limit`): records above it are invisible. That matters after a crash — floor pages synced
+//! just before a snapshot may run *ahead* of the snapshot the node restarts
+//! from, and replaying the suffix must not see floors from heights it has
+//! not re-finalized yet.
+//!
+//! Crash safety matches the tx index: floors are derived from finalized
+//! blocks, so a torn trailing page is truncated on reopen and appends are
+//! idempotent per partition (records at or below the partition's durable
+//! watermark are dropped; finality re-derives exactly the missing suffix).
+
+use crate::cache::LruCache;
+use crate::index::{bloom_hashes, route_hash, MergeStats};
+use crate::tx::AccountId;
+use blockprov_wire::index::{
+    read_page_from, write_page_to, BloomFilter, IndexPageHeader, INDEX_VERSION,
+};
+use blockprov_wire::{Codec, Reader, WireError, Writer};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One durable floor record: `author` may not reuse nonces below `nonce`
+/// from finalized height `height` on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloorEntry {
+    /// Account whose floor rose.
+    pub author: AccountId,
+    /// The floor: smallest nonce still usable by the account.
+    pub nonce: u64,
+    /// Finalized height that raised it.
+    pub height: u64,
+}
+
+impl Codec for FloorEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.author.encode(w);
+        w.put_u64(self.nonce);
+        w.put_u64(self.height);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            author: AccountId::decode(r)?,
+            nonce: r.get_u64()?,
+            height: r.get_u64()?,
+        })
+    }
+}
+
+/// Tuning for [`FloorStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct FloorConfig {
+    /// Number of hash partitions (one append-only page file each). Fixed at
+    /// creation; reopening derives the count from the existing files.
+    pub partitions: u16,
+    /// Distinct authors staged per partition before a page is cut.
+    pub page_entries: usize,
+    /// Decoded pages held in the LRU page cache.
+    pub cached_pages: usize,
+    /// Merge trigger: partitions holding at least this many durable pages
+    /// are rewritten (keeping only each author's newest record) by
+    /// [`FloorStore::merge_pages`].
+    pub merge_threshold: usize,
+}
+
+impl Default for FloorConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 8,
+            page_entries: 1024,
+            cached_pages: 16,
+            merge_threshold: 16,
+        }
+    }
+}
+
+/// Where a page's payload lives inside its partition file.
+#[derive(Debug, Clone)]
+struct PageMeta {
+    offset: u64,
+    len: u32,
+    header: IndexPageHeader,
+}
+
+/// One partition: durable pages plus the staged (not yet paged) tail.
+/// Staging keys by author and keeps the max-nonce record — only the
+/// highest staged floor per author matters.
+#[derive(Debug)]
+struct Partition {
+    pages: Vec<PageMeta>,
+    staged: BTreeMap<AccountId, (u64, u64)>, // author → (nonce, height)
+    file_len: u64,
+    /// Largest height durably paged (0 = nothing paged yet).
+    last_height: u64,
+}
+
+fn partition_path(dir: &Path, p: u16) -> PathBuf {
+    dir.join(format!("floor-{p:02}.pages"))
+}
+
+/// The durable, crash-safe nonce-floor store.
+pub struct FloorStore {
+    dir: PathBuf,
+    config: FloorConfig,
+    partitions: Vec<Partition>,
+    writers: Vec<BufWriter<File>>,
+    /// Decoded page cache: (partition, sequence) → entries sorted by author.
+    cache: RefCell<LruCache<(u16, u32), Arc<Vec<FloorEntry>>>>,
+    reader: RefCell<Option<(u16, File)>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for FloorStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloorStore")
+            .field("dir", &self.dir)
+            .field("partitions", &self.partitions.len())
+            .field("pages", &self.page_count())
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FloorStore {
+    /// Open (or create) a floor store in `dir` (conventionally the meta
+    /// tier's directory, next to `height.map`).
+    ///
+    /// Reopening derives the partition count from the existing
+    /// `floor-*.pages` files and rebuilds the page directory by scanning
+    /// page headers; a torn trailing page is truncated away (floors are
+    /// derived data — finality replay re-records the lost suffix).
+    pub fn open<P: AsRef<Path>>(dir: P, config: FloorConfig) -> io::Result<Self> {
+        assert!(config.partitions > 0, "FloorStore needs at least one partition");
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut ids: Vec<u16> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("floor-") && name.ends_with(".pages.tmp") {
+                // A merge that crashed before its rename; originals intact.
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(num) = name
+                .strip_prefix("floor-")
+                .and_then(|s| s.strip_suffix(".pages"))
+            {
+                let id = num.parse::<u16>().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unparseable floor file name {name:?}"),
+                    )
+                })?;
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        let partition_count = if ids.is_empty() {
+            config.partitions
+        } else {
+            let max = *ids.last().expect("non-empty");
+            if ids.len() as u32 != u32::from(max) + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "floor partition sequence has gaps: {} files up to floor-{max:02}",
+                        ids.len()
+                    ),
+                ));
+            }
+            max + 1
+        };
+        let mut partitions = Vec::with_capacity(partition_count as usize);
+        let mut writers = Vec::with_capacity(partition_count as usize);
+        let mut bytes = 0u64;
+        for p in 0..partition_count {
+            let path = partition_path(&dir, p);
+            let part = if path.exists() {
+                Self::scan_partition(&path, p)?
+            } else {
+                File::create(&path)?;
+                Partition {
+                    pages: Vec::new(),
+                    staged: BTreeMap::new(),
+                    file_len: 0,
+                    last_height: 0,
+                }
+            };
+            bytes += part.file_len;
+            writers.push(BufWriter::new(
+                OpenOptions::new().append(true).open(&path)?,
+            ));
+            partitions.push(part);
+        }
+        Ok(Self {
+            dir,
+            config,
+            partitions,
+            writers,
+            cache: RefCell::new(LruCache::new(config.cached_pages)),
+            reader: RefCell::new(None),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            bytes,
+        })
+    }
+
+    /// Scan one partition file's page headers, truncating a torn tail.
+    fn scan_partition(path: &Path, p: u16) -> io::Result<Partition> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut pages = Vec::new();
+        let mut pos = 0u64;
+        let mut last_height = 0u64;
+        let truncate_at = loop {
+            match read_page_from(&mut reader) {
+                Ok(None) => break None,
+                Ok(Some((header, entry_bytes))) => {
+                    if header.partition != p {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "floor page filed under partition {p} claims partition {}",
+                                header.partition
+                            ),
+                        ));
+                    }
+                    let len = (header.to_wire().len() + entry_bytes.len()) as u32;
+                    last_height = last_height.max(header.last_height);
+                    pages.push(PageMeta {
+                        offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
+                        len,
+                        header,
+                    });
+                    pos += blockprov_wire::frame::frame_len(len as usize);
+                }
+                Err(_) => break Some(pos),
+            }
+        };
+        if let Some(at) = truncate_at {
+            drop(reader);
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(at)?;
+            f.sync_all()?;
+        }
+        Ok(Partition {
+            pages,
+            staged: BTreeMap::new(),
+            file_len: pos,
+            last_height,
+        })
+    }
+
+    fn route(&self, author: &AccountId) -> u16 {
+        (route_hash(author.0.as_bytes()) % self.partitions.len() as u64) as u16
+    }
+
+    /// Record raised floors. Records at or below a partition's durable
+    /// watermark are dropped (idempotent finality replay); the rest are
+    /// staged — newest per author wins — and cut into durable pages once a
+    /// partition's staged tail reaches [`FloorConfig::page_entries`].
+    ///
+    /// Like the tx index, a batch must carry complete heights (the chain
+    /// records each finalized height's floors exactly once), so the
+    /// per-partition watermark stays a sound idempotence guard.
+    pub fn append(&mut self, entries: Vec<FloorEntry>) -> io::Result<u64> {
+        let mut accepted = 0u64;
+        for e in entries {
+            let p = self.route(&e.author) as usize;
+            let part = &mut self.partitions[p];
+            if e.height <= part.last_height {
+                continue; // already durable (crash-replay overlap)
+            }
+            // Keep the max-nonce record per author (nonces can regress
+            // across heights; the floor is the max over history).
+            let slot = part.staged.entry(e.author).or_insert((e.nonce, e.height));
+            if e.nonce >= slot.0 {
+                *slot = (e.nonce, e.height.max(slot.1));
+            }
+            accepted += 1;
+        }
+        for p in 0..self.partitions.len() {
+            if self.partitions[p].staged.len() >= self.config.page_entries {
+                self.cut_page(p)?;
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Force every staged record into durable pages (pre-snapshot sync /
+    /// shutdown).
+    pub fn sync(&mut self) -> io::Result<()> {
+        for p in 0..self.partitions.len() {
+            if !self.partitions[p].staged.is_empty() {
+                self.cut_page(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a page for `entries`, which must be sorted by author.
+    fn build_page(
+        partition: u16,
+        sequence: u32,
+        entries: &[FloorEntry],
+    ) -> (IndexPageHeader, Vec<u8>) {
+        let mut key_bloom = BloomFilter::with_capacity(entries.len());
+        let mut first_height = u64::MAX;
+        let mut last_height = 0u64;
+        let mut entry_bytes = Writer::new();
+        for e in entries {
+            let (h1, h2) = bloom_hashes(e.author.0.as_bytes());
+            key_bloom.insert(h1, h2);
+            first_height = first_height.min(e.height);
+            last_height = last_height.max(e.height);
+            e.encode(&mut entry_bytes);
+        }
+        let header = IndexPageHeader {
+            version: INDEX_VERSION,
+            partition,
+            sequence,
+            entry_count: entries.len() as u32,
+            first_height,
+            last_height,
+            key_bloom,
+            // Floors have one key dimension; the page layer's secondary
+            // bloom and tag mask ride along empty.
+            secondary_bloom: BloomFilter::with_capacity(0),
+            tag_mask: 0,
+        };
+        (header, entry_bytes.into_bytes())
+    }
+
+    /// Cut the staged tail of partition `p` into one durable page.
+    fn cut_page(&mut self, p: usize) -> io::Result<()> {
+        let part = &mut self.partitions[p];
+        let staged = std::mem::take(&mut part.staged);
+        // BTreeMap iteration is author-sorted: the binary-search invariant
+        // comes for free.
+        let entries: Vec<FloorEntry> = staged
+            .into_iter()
+            .map(|(author, (nonce, height))| FloorEntry {
+                author,
+                nonce,
+                height,
+            })
+            .collect();
+        let (header, entry_bytes) = Self::build_page(p as u16, part.pages.len() as u32, &entries);
+        let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
+        let writer = &mut self.writers[p];
+        write_page_to(writer, &header, &entry_bytes)?;
+        writer.flush()?;
+        let meta = PageMeta {
+            offset: part.file_len + blockprov_wire::frame::FRAME_OVERHEAD,
+            len: payload_len,
+            header,
+        };
+        part.file_len += blockprov_wire::frame::frame_len(payload_len as usize);
+        part.last_height = part.last_height.max(meta.header.last_height);
+        self.bytes += blockprov_wire::frame::frame_len(payload_len as usize);
+        self.cache
+            .borrow_mut()
+            .insert((p as u16, meta.header.sequence), Arc::new(entries));
+        part.pages.push(meta);
+        Ok(())
+    }
+
+    /// Load (or fetch from cache) the decoded entries of one page.
+    fn page_entries(&self, p: u16, seq: u32) -> io::Result<Arc<Vec<FloorEntry>>> {
+        if let Some(hit) = self.cache.borrow_mut().get(&(p, seq)) {
+            self.hits.set(self.hits.get() + 1);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.set(self.misses.get() + 1);
+        let meta = &self.partitions[p as usize].pages[seq as usize];
+        let mut slot = self.reader.borrow_mut();
+        if slot.as_ref().map(|(id, _)| *id) != Some(p) {
+            *slot = Some((p, File::open(partition_path(&self.dir, p))?));
+        }
+        let (_, file) = slot.as_mut().expect("reader just installed");
+        file.seek(SeekFrom::Start(meta.offset))?;
+        let mut body = vec![0u8; meta.len as usize];
+        file.read_exact(&mut body)?;
+        let mut reader = Reader::new(&body);
+        let header = IndexPageHeader::decode(&mut reader)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut entries = Vec::with_capacity(header.entry_count as usize);
+        for _ in 0..header.entry_count {
+            entries.push(
+                FloorEntry::decode(&mut reader)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            );
+        }
+        let arc = Arc::new(entries);
+        self.cache.borrow_mut().insert((p, seq), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// The author's floor considering only records at or below `h_limit`
+    /// (the caller's current finalized height), or `None` if no such record
+    /// exists.
+    ///
+    /// Floors are not monotone by height (a later finalized block can reuse
+    /// a lower nonce), so the answer is the *maximum* over the staged record
+    /// and every page the key Bloom admits — an early return on the newest
+    /// hit would miss a higher floor recorded earlier. Pages whose fence
+    /// starts above `h_limit` are skipped whole — that is what keeps a
+    /// fast-started node from seeing floors "from the future" when the floor
+    /// pages outran the snapshot it restarted from.
+    pub fn lookup(&self, author: &AccountId, h_limit: u64) -> io::Result<Option<u64>> {
+        let p = self.route(author);
+        let part = &self.partitions[p as usize];
+        let mut floor: Option<u64> = None;
+        if let Some(&(nonce, height)) = part.staged.get(author) {
+            if height <= h_limit {
+                floor = Some(nonce);
+            }
+        }
+        let (h1, h2) = bloom_hashes(author.0.as_bytes());
+        for seq in 0..part.pages.len() as u32 {
+            let meta = &part.pages[seq as usize];
+            if meta.header.first_height > h_limit || !meta.header.key_bloom.contains(h1, h2) {
+                continue;
+            }
+            let entries = self.page_entries(p, seq)?;
+            let start = entries.partition_point(|e| e.author < *author);
+            let hit = entries[start..]
+                .iter()
+                .take_while(|e| e.author == *author)
+                .filter(|e| e.height <= h_limit)
+                .map(|e| e.nonce)
+                .max();
+            floor = floor.max(hit);
+        }
+        Ok(floor)
+    }
+
+    /// Merge each over-threshold partition's pages down to the max-nonce
+    /// record per author.
+    ///
+    /// Unlike the tx index, dominated floor records are *dead* — a lookup
+    /// only ever needs an author's maximum floor — so merging here both
+    /// collapses the page sweep and reclaims bytes. The collapsed record
+    /// carries the partition's max seen height so the durable watermark
+    /// (and append idempotence) survives the rewrite. Temp + rename per
+    /// partition; a crash leaves either the old or the new sequence.
+    pub fn merge_pages(&mut self, min_pages: usize) -> io::Result<MergeStats> {
+        let min_pages = min_pages.max(2);
+        let mut stats = MergeStats::default();
+        for p in 0..self.partitions.len() {
+            if self.partitions[p].pages.len() < min_pages {
+                continue;
+            }
+            let path = partition_path(&self.dir, p as u16);
+            let tmp = path.with_extension("pages.tmp");
+            // Newest record per author. Partition-resident author counts
+            // are bounded (that is the point of partitioning), so the
+            // collapse map stays small even when history is long.
+            let mut newest: BTreeMap<AccountId, (u64, u64)> = BTreeMap::new();
+            {
+                let mut reader = BufReader::new(File::open(&path)?);
+                while let Some((header, body)) = read_page_from(&mut reader)? {
+                    let mut r = Reader::new(&body);
+                    for _ in 0..header.entry_count {
+                        let e = FloorEntry::decode(&mut r).map_err(|err| {
+                            io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+                        })?;
+                        let slot = newest.entry(e.author).or_insert((e.nonce, e.height));
+                        if e.nonce >= slot.0 {
+                            *slot = (e.nonce, e.height.max(slot.1));
+                        }
+                    }
+                }
+            }
+            let entries: Vec<FloorEntry> = newest
+                .into_iter()
+                .map(|(author, (nonce, height))| FloorEntry {
+                    author,
+                    nonce,
+                    height,
+                })
+                .collect();
+            let mut new_pages: Vec<PageMeta> = Vec::new();
+            let mut pos = 0u64;
+            {
+                let mut out = BufWriter::new(File::create(&tmp)?);
+                let (header, entry_bytes) = Self::build_page(p as u16, 0, &entries);
+                let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
+                write_page_to(&mut out, &header, &entry_bytes)?;
+                new_pages.push(PageMeta {
+                    offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
+                    len: payload_len,
+                    header,
+                });
+                pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                out.flush()?;
+                out.get_ref().sync_all()?;
+            }
+            let new_writer = BufWriter::new(OpenOptions::new().append(true).open(&tmp)?);
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            let part = &mut self.partitions[p];
+            stats.partitions_merged += 1;
+            stats.pages_before += part.pages.len();
+            stats.pages_after += new_pages.len();
+            stats.bytes_before += part.file_len;
+            stats.bytes_after += pos;
+            self.bytes = self.bytes - part.file_len + pos;
+            part.pages = new_pages;
+            part.file_len = pos;
+            self.writers[p] = new_writer;
+            let mut cache = self.cache.borrow_mut();
+            for key in cache.keys_by_recency() {
+                if key.0 == p as u16 {
+                    cache.remove(&key);
+                }
+            }
+            drop(cache);
+            *self.reader.borrow_mut() = None;
+        }
+        Ok(stats)
+    }
+
+    /// Durable per-partition height watermarks — what checkpoint snapshots
+    /// carry instead of the full floor map.
+    pub fn partition_watermarks(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.last_height).collect()
+    }
+
+    /// Records staged in memory, not yet cut into a durable page.
+    pub fn staged_records(&self) -> usize {
+        self.partitions.iter().map(|p| p.staged.len()).sum()
+    }
+
+    /// Total durable pages across all partitions.
+    pub fn page_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.pages.len()).sum()
+    }
+
+    /// Number of hash partitions.
+    pub fn partition_count(&self) -> u16 {
+        self.partitions.len() as u16
+    }
+
+    /// Bytes across all partition files.
+    pub fn stored_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// `(page cache hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+}
+
+impl Drop for FloorStore {
+    fn drop(&mut self) {
+        // Best effort: staged floors are re-derivable, but flushing them
+        // makes clean shutdown → reopen start warm.
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "blockprov-floor-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> FloorConfig {
+        FloorConfig {
+            partitions: 4,
+            page_entries: 8,
+            cached_pages: 4,
+            ..FloorConfig::default()
+        }
+    }
+
+    fn acct(i: u64) -> AccountId {
+        AccountId::from_name(&format!("acct-{i}"))
+    }
+
+    fn rec(i: u64, nonce: u64, height: u64) -> FloorEntry {
+        FloorEntry {
+            author: acct(i),
+            nonce,
+            height,
+        }
+    }
+
+    #[test]
+    fn entry_codec_round_trip() {
+        let e = rec(7, 42, 99);
+        assert_eq!(FloorEntry::from_wire(&e.to_wire()).unwrap(), e);
+    }
+
+    #[test]
+    fn record_lookup_and_monotone_supersede() {
+        let dir = temp_dir("basic");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        fs.append((0..50).map(|i| rec(i, i + 1, 10)).collect()).unwrap();
+        fs.sync().unwrap();
+        // Raise some floors at a later height.
+        fs.append((0..25).map(|i| rec(i, i + 10, 20)).collect()).unwrap();
+        fs.sync().unwrap();
+        for i in 0..25u64 {
+            assert_eq!(fs.lookup(&acct(i), 20).unwrap(), Some(i + 10));
+        }
+        for i in 25..50u64 {
+            assert_eq!(fs.lookup(&acct(i), 20).unwrap(), Some(i + 1));
+        }
+        assert_eq!(fs.lookup(&acct(999), 20).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn height_ceiling_hides_future_floors() {
+        let dir = temp_dir("ceiling");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        fs.append(vec![rec(1, 5, 10)]).unwrap();
+        fs.sync().unwrap();
+        fs.append(vec![rec(1, 9, 30)]).unwrap();
+        fs.sync().unwrap();
+        // As-of height 10 the raise at height 30 is invisible — a
+        // fast-started node replaying from an older snapshot must see the
+        // floor the snapshotted height knew.
+        assert_eq!(fs.lookup(&acct(1), 10).unwrap(), Some(5));
+        assert_eq!(fs.lookup(&acct(1), 29).unwrap(), Some(5));
+        assert_eq!(fs.lookup(&acct(1), 30).unwrap(), Some(9));
+        // Staged (undurable) records obey the ceiling too.
+        fs.append(vec![rec(1, 12, 40)]).unwrap();
+        assert_eq!(fs.lookup(&acct(1), 30).unwrap(), Some(9));
+        assert_eq!(fs.lookup(&acct(1), 40).unwrap(), Some(12));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_rebuilds_pages_and_watermarks() {
+        let dir = temp_dir("reopen");
+        {
+            let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+            fs.append((0..40).map(|i| rec(i, i, 7)).collect()).unwrap();
+            fs.sync().unwrap();
+        }
+        let fs = FloorStore::open(&dir, small_config()).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(fs.lookup(&acct(i), 7).unwrap(), Some(i));
+        }
+        assert!(fs.partition_watermarks().iter().all(|&w| w == 7));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_is_idempotent_per_partition_watermark() {
+        let dir = temp_dir("idem");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        let batch: Vec<FloorEntry> = (0..20).map(|i| rec(i, i + 1, 5)).collect();
+        fs.append(batch.clone()).unwrap();
+        fs.sync().unwrap();
+        let bytes = fs.stored_bytes();
+        // Finality replay after a crash re-records the same heights.
+        let accepted = fs.append(batch).unwrap();
+        fs.sync().unwrap();
+        assert_eq!(accepted, 0);
+        assert_eq!(fs.stored_bytes(), bytes, "no duplicate pages");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_page_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        {
+            let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+            fs.append((0..40).map(|i| rec(i, i, 3)).collect()).unwrap();
+            fs.sync().unwrap();
+        }
+        let victim = (0..4u16)
+            .find(|&p| std::fs::metadata(partition_path(&dir, p)).unwrap().len() > 0)
+            .expect("some partition has pages");
+        let path = partition_path(&dir, victim);
+        let whole = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&(10_000u32).to_le_bytes()).unwrap();
+            f.write_all(b"torn floor tail").unwrap();
+        }
+        let fs = FloorStore::open(&dir, small_config()).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), whole);
+        for i in 0..40u64 {
+            assert_eq!(fs.lookup(&acct(i), 3).unwrap(), Some(i));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_keeps_only_newest_floor_per_author() {
+        let dir = temp_dir("merge");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        // Many raises of the same small author set → lots of pages full of
+        // superseded records.
+        for h in 1..=12u64 {
+            fs.append((0..10).map(|i| rec(i, h * 10 + i, h)).collect())
+                .unwrap();
+            fs.sync().unwrap();
+        }
+        assert!(fs.page_count() >= 8, "need a multi-page shape to merge");
+        let bytes_before = fs.stored_bytes();
+        let stats = fs.merge_pages(2).unwrap();
+        assert!(stats.partitions_merged > 0);
+        assert!(stats.pages_after < stats.pages_before);
+        assert!(
+            fs.stored_bytes() < bytes_before,
+            "superseded floors must be reclaimed"
+        );
+        for i in 0..10u64 {
+            assert_eq!(fs.lookup(&acct(i), 12).unwrap(), Some(120 + i));
+        }
+        // Appends keep working after the writer swap; reopen scans clean.
+        fs.append((0..10).map(|i| rec(i, 200 + i, 13)).collect())
+            .unwrap();
+        fs.sync().unwrap();
+        drop(fs);
+        let fs = FloorStore::open(&dir, small_config()).unwrap();
+        for i in 0..10u64 {
+            assert_eq!(fs.lookup(&acct(i), 13).unwrap(), Some(200 + i));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_merge_temp_ignored_on_reopen() {
+        let dir = temp_dir("merge-crash");
+        {
+            let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+            fs.append((0..20).map(|i| rec(i, i, 2)).collect()).unwrap();
+            fs.sync().unwrap();
+        }
+        std::fs::write(dir.join("floor-00.pages.tmp"), b"half merge").unwrap();
+        let fs = FloorStore::open(&dir, small_config()).unwrap();
+        assert!(!dir.join("floor-00.pages.tmp").exists());
+        for i in 0..20u64 {
+            assert_eq!(fs.lookup(&acct(i), 2).unwrap(), Some(i));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

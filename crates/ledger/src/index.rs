@@ -76,8 +76,10 @@ impl Codec for IndexEntry {
 }
 
 /// The 64-bit word of a 32-byte key used for partition routing. The key is
-/// already a cryptographic hash, so its bytes are uniform.
-fn route_hash(bytes: &[u8; 32]) -> u64 {
+/// already a cryptographic hash, so its bytes are uniform. Shared with the
+/// nonce-floor pages ([`crate::floor`]), which partition by author the same
+/// way.
+pub(crate) fn route_hash(bytes: &[u8; 32]) -> u64 {
     u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"))
 }
 
@@ -86,7 +88,7 @@ fn route_hash(bytes: &[u8; 32]) -> u64 {
 /// shares its routing residue, so reusing the routing word as a probe base
 /// would cluster first probes into 1/partitions of the filter and inflate
 /// false positives.
-fn bloom_hashes(bytes: &[u8; 32]) -> (u64, u64) {
+pub(crate) fn bloom_hashes(bytes: &[u8; 32]) -> (u64, u64) {
     let h1 = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
     let h2 = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
     (h1, h2)
@@ -460,6 +462,16 @@ impl TxIndex {
     /// one id-sorted run (chunked only if it would overflow the frame
     /// limit), with Bloom filters, kind masks and height fences rebuilt.
     ///
+    /// The rewrite is a streaming k-way merge, not a materialize-and-sort:
+    /// every durable page is already an id-sorted run ([`Self::cut_page`]
+    /// sorts before writing, and merged pages are chunks of a sorted run),
+    /// so a first pass records each page's id fences — coalescing adjacent
+    /// pages that are already mutually ordered into single runs — and a
+    /// second pass heap-merges the runs holding ONE decoded page per run.
+    /// Resident memory is O(open runs + one output chunk), not O(partition
+    /// bytes); after the first merge a partition is one big run plus the
+    /// pages cut since, so steady-state merges hold only a handful of pages.
+    ///
     /// Query results are unchanged — `lookup` already resolves duplicate
     /// ids by latest `(height, pos)` and the secondary scans re-sort by
     /// canonical order — but sweeps touch one page instead of many.
@@ -471,6 +483,43 @@ impl TxIndex {
         /// Entries per merged page: bounds the frame below `wire::MAX_LEN`
         /// (an entry encodes to ~110 bytes; 2^17 entries ≈ 14 MiB < 16 MiB).
         const MERGE_PAGE_ENTRIES: usize = 1 << 17;
+
+        /// One sorted run: a maximal stretch of adjacent pages whose id
+        /// fences chain (`last_id(i) <= first_id(i+1)`). Holds the one
+        /// currently-decoded page; `advance` refills from the next page.
+        struct RunCursor {
+            pages: Vec<usize>, // indices into the partition's page list
+            next: usize,       // next run page to decode
+            entries: Vec<IndexEntry>,
+            idx: usize,
+        }
+        impl RunCursor {
+            fn key(&self) -> (TxId, u64, u32) {
+                let e = &self.entries[self.idx];
+                (e.id, e.height, e.pos)
+            }
+            fn take(&mut self) -> IndexEntry {
+                let e = self.entries[self.idx].clone();
+                self.idx += 1;
+                e
+            }
+            fn refill(
+                &mut self,
+                file: &mut File,
+                metas: &[PageMeta],
+            ) -> io::Result<bool> {
+                while self.idx >= self.entries.len() {
+                    if self.next >= self.pages.len() {
+                        return Ok(false);
+                    }
+                    self.entries = TxIndex::read_page_at(file, &metas[self.pages[self.next]])?;
+                    self.next += 1;
+                    self.idx = 0;
+                }
+                Ok(true)
+            }
+        }
+
         let min_pages = min_pages.max(2);
         let mut stats = MergeStats::default();
         for p in 0..self.partitions.len() {
@@ -479,37 +528,77 @@ impl TxIndex {
             }
             let path = partition_path(&self.dir, p as u16);
             let tmp = path.with_extension("pages.tmp");
-            // Gather every durable entry with a fresh sequential reader
-            // (the shared handle may sit on another partition).
-            let mut entries: Vec<IndexEntry> = Vec::new();
-            {
-                let mut reader = BufReader::new(File::open(&path)?);
-                while let Some((header, body)) = read_page_from(&mut reader)? {
-                    let mut r = Reader::new(&body);
-                    for _ in 0..header.entry_count {
-                        entries.push(IndexEntry::decode(&mut r).map_err(|e| {
-                            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-                        })?);
-                    }
+            let metas = self.partitions[p].pages.clone();
+            let mut file = File::open(&path)?;
+            // Pass 1: page id fences, decoding one page at a time. Pages
+            // whose fences chain collapse into one run — chunks of a prior
+            // merge stream through a single cursor instead of each pinning
+            // a decoded page in the heap.
+            let mut runs: Vec<Vec<usize>> = Vec::new();
+            let mut prev_last: Option<TxId> = None;
+            for (i, meta) in metas.iter().enumerate() {
+                let entries = Self::read_page_at(&mut file, meta)?;
+                let first = entries.first().map(|e| e.id);
+                let last = entries.last().map(|e| e.id);
+                match (prev_last, first, runs.last_mut()) {
+                    (Some(pl), Some(f), Some(run)) if pl <= f => run.push(i),
+                    _ => runs.push(vec![i]),
+                }
+                prev_last = last.or(prev_last);
+            }
+            // Pass 2: k-way heap merge of the runs into the temp file,
+            // cutting an output page whenever the chunk fills. Every
+            // fallible step happens before any in-memory state changes.
+            let mut cursors: Vec<RunCursor> = runs
+                .into_iter()
+                .map(|pages| RunCursor {
+                    pages,
+                    next: 0,
+                    entries: Vec::new(),
+                    idx: 0,
+                })
+                .collect();
+            let mut heap: std::collections::BinaryHeap<
+                std::cmp::Reverse<((TxId, u64, u32), usize)>,
+            > = std::collections::BinaryHeap::with_capacity(cursors.len());
+            for (c, cursor) in cursors.iter_mut().enumerate() {
+                if cursor.refill(&mut file, &metas)? {
+                    heap.push(std::cmp::Reverse((cursor.key(), c)));
                 }
             }
-            entries.sort_unstable_by_key(|e| (e.id, e.height, e.pos));
-            // Write the merged run, then swap it in. Every fallible step
-            // happens before any in-memory state changes.
             let mut new_pages: Vec<PageMeta> = Vec::new();
             let mut pos = 0u64;
             {
                 let mut out = BufWriter::new(File::create(&tmp)?);
-                for (seq, chunk) in entries.chunks(MERGE_PAGE_ENTRIES).enumerate() {
-                    let (header, entry_bytes) = Self::build_page(p as u16, seq as u32, chunk);
-                    let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
-                    write_page_to(&mut out, &header, &entry_bytes)?;
-                    new_pages.push(PageMeta {
-                        offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
-                        len: payload_len,
-                        header,
-                    });
-                    pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                let mut chunk: Vec<IndexEntry> = Vec::new();
+                let mut seq = 0u32;
+                let mut cut =
+                    |chunk: &mut Vec<IndexEntry>, seq: &mut u32, out: &mut BufWriter<File>|
+                     -> io::Result<()> {
+                        let (header, entry_bytes) = Self::build_page(p as u16, *seq, chunk);
+                        let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
+                        write_page_to(out, &header, &entry_bytes)?;
+                        new_pages.push(PageMeta {
+                            offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
+                            len: payload_len,
+                            header,
+                        });
+                        pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                        *seq += 1;
+                        chunk.clear();
+                        Ok(())
+                    };
+                while let Some(std::cmp::Reverse((_, c))) = heap.pop() {
+                    chunk.push(cursors[c].take());
+                    if cursors[c].refill(&mut file, &metas)? {
+                        heap.push(std::cmp::Reverse((cursors[c].key(), c)));
+                    }
+                    if chunk.len() >= MERGE_PAGE_ENTRIES {
+                        cut(&mut chunk, &mut seq, &mut out)?;
+                    }
+                }
+                if !chunk.is_empty() {
+                    cut(&mut chunk, &mut seq, &mut out)?;
                 }
                 out.flush()?;
                 out.get_ref().sync_all()?;
@@ -561,6 +650,26 @@ impl TxIndex {
     /// The index configuration (merge threshold, page sizing).
     pub fn config(&self) -> &TxIndexConfig {
         &self.config
+    }
+
+    /// Decode one page's entries straight from the partition file,
+    /// bypassing the cache (merge-time sequential access would only churn
+    /// the LRU that lookups depend on).
+    fn read_page_at(file: &mut File, meta: &PageMeta) -> io::Result<Vec<IndexEntry>> {
+        file.seek(SeekFrom::Start(meta.offset))?;
+        let mut body = vec![0u8; meta.len as usize];
+        file.read_exact(&mut body)?;
+        let mut reader = Reader::new(&body);
+        let header = IndexPageHeader::decode(&mut reader)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut entries = Vec::with_capacity(header.entry_count as usize);
+        for _ in 0..header.entry_count {
+            entries.push(
+                IndexEntry::decode(&mut reader)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            );
+        }
+        Ok(entries)
     }
 
     /// Load (or fetch from cache) the decoded entries of one page.

@@ -15,7 +15,9 @@
 pub mod block;
 pub mod cache;
 pub mod chain;
+pub mod floor;
 pub mod index;
+pub mod manifest;
 pub mod mempool;
 pub mod meta;
 pub mod pool;
@@ -29,7 +31,11 @@ pub use chain::{
     BatchError, Chain, ChainConfig, PrevalidatedBlock, ResidentMetadata, SignaturePolicy,
     ValidationError,
 };
+pub use floor::{FloorConfig, FloorEntry, FloorStore};
 pub use index::{IndexEntry, MergeStats, TxIndex, TxIndexConfig};
+pub use manifest::{
+    commit_manifest, read_manifest, Manifest, ManifestEntry, ManifestFileKind, ManifestState,
+};
 pub use mempool::Mempool;
 pub use meta::{HeightMap, MetaConfig, MetaStore};
 pub use pool::ValidationPool;

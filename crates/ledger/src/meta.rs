@@ -4,10 +4,11 @@
 //! PR 2 bounded resident *blocks* and PR 3 bounded resident *index*
 //! entries; this module bounds the remaining per-block chain metadata. Once
 //! a height finalizes, its canonical hash is appended here and pruned from
-//! the chain's in-memory suffix, and a [`CheckpointSnapshot`] — checkpoint
-//! height/hash, the per-author nonce floor, and durability watermarks — is
-//! written atomically so a restart fast-starts from the checkpoint instead
-//! of re-absorbing all of history.
+//! the chain's in-memory suffix, its authors' nonce floors are staged into
+//! the disk-paged [`crate::floor::FloorStore`], and a
+//! [`CheckpointSnapshot`] — checkpoint height/hash plus durability
+//! watermarks — is written atomically so a restart fast-starts from the
+//! checkpoint instead of re-absorbing all of history.
 //!
 //! Crash safety mirrors [`crate::index::TxIndex`]: blocks are authoritative
 //! and everything here is *derived*. A torn height-map tail is truncated on
@@ -20,6 +21,7 @@
 
 use crate::block::BlockHash;
 use crate::cache::LruCache;
+use crate::floor::{FloorConfig, FloorStore};
 use blockprov_crypto::sha256::Hash256;
 use blockprov_wire::frame::FRAME_OVERHEAD;
 use blockprov_wire::meta::{
@@ -56,6 +58,9 @@ pub struct MetaConfig {
     /// shutdown (`Chain::sync_meta`) always writes a fresh snapshot
     /// regardless.
     pub snapshot_interval: u64,
+    /// Tuning for the disk-paged nonce-floor store that shares this
+    /// directory.
+    pub floor: FloorConfig,
 }
 
 impl Default for MetaConfig {
@@ -65,6 +70,7 @@ impl Default for MetaConfig {
             cached_pages: 32,
             index_sync_interval: 8192,
             snapshot_interval: 64,
+            floor: FloorConfig::default(),
         }
     }
 }
@@ -101,6 +107,12 @@ pub struct HeightMap {
     cache: RefCell<LruCache<u32, Arc<Vec<BlockHash>>>>,
     reader: RefCell<Option<File>>,
     bytes: u64,
+    /// Pages cut into the writer's buffer since the last flush. Cuts no
+    /// longer flush individually — the chain flushes once per finality
+    /// advance — so `durable` may briefly run ahead of the file; a crash in
+    /// that window loses the buffered tail, which is the torn-tail shape
+    /// reopen already heals from blocks.
+    unflushed: bool,
 }
 
 impl std::fmt::Debug for HeightMap {
@@ -171,6 +183,7 @@ impl HeightMap {
             cache: RefCell::new(LruCache::new(config.cached_pages)),
             reader: RefCell::new(None),
             bytes: pos,
+            unflushed: false,
         })
     }
 
@@ -235,10 +248,22 @@ impl HeightMap {
         Ok(true)
     }
 
-    /// Force the staged tail into a durable page (checkpoint/shutdown).
+    /// Force the staged tail into a durable page and flush the writer
+    /// (checkpoint/shutdown).
     pub fn sync(&mut self) -> io::Result<()> {
         if !self.staged.is_empty() {
             self.cut_page()?;
+        }
+        self.flush_pages()
+    }
+
+    /// Flush buffered page cuts to the file. [`Self::push`] buffers cuts in
+    /// the writer so a batch of finalized heights costs one flush, not one
+    /// per page — callers flush once per finality advance.
+    pub fn flush_pages(&mut self) -> io::Result<()> {
+        if self.unflushed {
+            self.writer.flush()?;
+            self.unflushed = false;
         }
         Ok(())
     }
@@ -255,7 +280,7 @@ impl HeightMap {
             entry_bytes.extend_from_slice(h.0.as_bytes());
         }
         write_height_page_to(&mut self.writer, &header, &entry_bytes)?;
-        self.writer.flush()?;
+        self.unflushed = true;
         let header_len = header.to_wire().len() as u32;
         let frame = blockprov_wire::frame::frame_len(header_len as usize + entry_bytes.len());
         let page_index = self.pages.len() as u32;
@@ -324,6 +349,7 @@ pub struct MetaStore {
     dir: PathBuf,
     config: MetaConfig,
     height_map: HeightMap,
+    floors: FloorStore,
 }
 
 impl std::fmt::Debug for MetaStore {
@@ -344,10 +370,12 @@ impl MetaStore {
         // the snapshot; drop it so it cannot be mistaken for one later.
         let _ = std::fs::remove_file(dir.join(format!("{SNAPSHOT_FILE}.tmp")));
         let height_map = HeightMap::open(dir.join(HEIGHT_MAP_FILE), &config)?;
+        let floors = FloorStore::open(&dir, config.floor)?;
         Ok(Self {
             dir,
             config,
             height_map,
+            floors,
         })
     }
 
@@ -369,6 +397,16 @@ impl MetaStore {
     /// The height→hash map (append access).
     pub fn height_map_mut(&mut self) -> &mut HeightMap {
         &mut self.height_map
+    }
+
+    /// The disk-paged nonce-floor store (read access).
+    pub fn floors(&self) -> &FloorStore {
+        &self.floors
+    }
+
+    /// The disk-paged nonce-floor store (append access).
+    pub fn floors_mut(&mut self) -> &mut FloorStore {
+        &mut self.floors
     }
 
     /// Read the current snapshot.
@@ -417,6 +455,7 @@ impl MetaStore {
 mod tests {
     use super::*;
     use blockprov_crypto::sha256::sha256;
+    use blockprov_wire::meta::SNAPSHOT_VERSION;
 
     fn hash(i: u64) -> BlockHash {
         BlockHash(sha256(format!("h-{i}").as_bytes()))
@@ -438,6 +477,7 @@ mod tests {
             cached_pages: 2,
             index_sync_interval: 8,
             snapshot_interval: 1,
+            floor: FloorConfig::default(),
         }
     }
 
@@ -508,12 +548,13 @@ mod tests {
         let mut store = MetaStore::open(&dir, small_config()).unwrap();
         assert!(store.read_snapshot().unwrap().is_none());
         let snap = CheckpointSnapshot {
-            version: META_VERSION,
+            version: SNAPSHOT_VERSION,
             height: 7,
             hash: *hash(7).0.as_bytes(),
-            next_nonce: vec![([3u8; 32], 11)],
             index_watermarks: vec![5, 7],
             index_durable_height: 5,
+            floor_watermarks: vec![6, 7],
+            floor_durable_height: 6,
             height_map_len: 6,
         };
         store.write_snapshot(&snap).unwrap();

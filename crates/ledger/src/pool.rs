@@ -19,14 +19,20 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
-/// One unit of stateless work: a block plus everything a worker needs to
-/// prevalidate it and report back.
+/// One unit of stateless work: a contiguous run of blocks plus everything
+/// a worker needs to prevalidate them and report back.
+///
+/// Jobs carry *chunks* rather than single blocks: per-job channel traffic
+/// (one mutex acquisition and two sends each) is pure overhead for cheap
+/// blocks, so the submitter sizes chunks from the batch length to amortize
+/// it while still leaving enough jobs for the pool to balance load.
 struct Job {
-    /// Position in the submitted batch, so results can be re-ordered.
-    idx: usize,
-    block: Block,
+    /// Position of the chunk's first block in the submitted batch, so
+    /// results can be re-ordered.
+    start: usize,
+    blocks: Vec<Block>,
     config: Arc<ChainConfig>,
-    out: Sender<(usize, PrevalidatedBlock)>,
+    out: Sender<(usize, Vec<PrevalidatedBlock>)>,
 }
 
 /// A fixed-size pool of prevalidation workers.
@@ -101,22 +107,35 @@ impl ValidationPool {
             return inline(blocks);
         }
         let n = blocks.len();
+        let chunk = chunk_size(n, self.threads);
         let config = Arc::new(config.clone());
         let (out, results) = channel();
-        for (idx, block) in blocks.into_iter().enumerate() {
+        let mut sent = 0usize;
+        let mut iter = blocks.into_iter();
+        let mut start = 0usize;
+        loop {
+            let chunk_blocks: Vec<Block> = iter.by_ref().take(chunk).collect();
+            if chunk_blocks.is_empty() {
+                break;
+            }
+            let len = chunk_blocks.len();
             jobs.send(Job {
-                idx,
-                block,
+                start,
+                blocks: chunk_blocks,
                 config: Arc::clone(&config),
                 out: out.clone(),
             })
             .expect("ingest pool workers alive");
+            start += len;
+            sent += 1;
         }
         drop(out);
         let mut slots: Vec<Option<PrevalidatedBlock>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (idx, pre) = results.recv().expect("ingest worker finished job");
-            slots[idx] = Some(pre);
+        for _ in 0..sent {
+            let (start, pres) = results.recv().expect("ingest worker finished job");
+            for (off, pre) in pres.into_iter().enumerate() {
+                slots[start + off] = Some(pre);
+            }
         }
         slots
             .into_iter()
@@ -146,11 +165,24 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         let Ok(job) = job else {
             return; // channel closed: the pool is shutting down
         };
-        let pre = PrevalidatedBlock::compute(job.block, &job.config);
+        let pres: Vec<PrevalidatedBlock> = job
+            .blocks
+            .into_iter()
+            .map(|b| PrevalidatedBlock::compute(b, &job.config))
+            .collect();
         // A send failure means the submitter gave up (panic unwind);
         // dropping the result is the only sane response.
-        let _ = job.out.send((job.idx, pre));
+        let _ = job.out.send((job.start, pres));
     }
+}
+
+/// Blocks per job for an `n`-block batch on a `threads`-worker pool.
+///
+/// Aim for ~4 jobs per worker: enough slack that an expensive chunk (many
+/// signatures) doesn't leave siblings idle, while big batches still pay
+/// channel overhead per *chunk* instead of per block.
+fn chunk_size(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 4)).max(1)
 }
 
 /// Resolve a configured thread count: `0` = one per available core.
@@ -211,6 +243,34 @@ mod tests {
     fn zero_resolves_to_at_least_one() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunk_size_scales_with_batch_and_floors_at_one() {
+        assert_eq!(chunk_size(2, 4), 1); // tiny batch: one block per job
+        assert_eq!(chunk_size(16, 4), 1); // exactly 4 jobs per worker
+        assert_eq!(chunk_size(160, 4), 10); // big batch: amortized chunks
+        assert_eq!(chunk_size(7, 1), 1);
+        assert!(chunk_size(100_000, 8) >= 1_000);
+    }
+
+    #[test]
+    fn uneven_chunks_keep_batch_order() {
+        // 17 blocks over 2 workers → chunk 2 → a short trailing chunk;
+        // results must still come back in submission order.
+        let config = ChainConfig::default();
+        let blocks = test_blocks(17);
+        let expect: Vec<PrevalidatedBlock> = blocks
+            .iter()
+            .cloned()
+            .map(|b| PrevalidatedBlock::compute(b, &config))
+            .collect();
+        let pool = ValidationPool::new(2);
+        let got = pool.prevalidate(blocks, &config);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.hash, e.hash);
+        }
     }
 
     #[test]

@@ -95,6 +95,23 @@ pub trait BlockStore: Send {
     fn scan_headers(&self, visit: &mut dyn FnMut(u64, BlockHash)) -> std::io::Result<()> {
         self.scan(&mut |b| visit(b.header.height, b.hash()))
     }
+
+    /// Visit at least every stored header with height strictly greater than
+    /// `min_height`, in [`BlockStore::scan`] order. Implementations may
+    /// over-visit (headers at or below the fence may appear); callers
+    /// filter.
+    ///
+    /// This is the manifest payoff: the segment store skips whole sealed
+    /// files whose height fence sits at or below `min_height`, so snapshot
+    /// fast-start reads O(finality window) bytes instead of O(history).
+    /// The default delegates to `scan_headers` (no skipping).
+    fn scan_headers_from(
+        &self,
+        _min_height: u64,
+        visit: &mut dyn FnMut(u64, BlockHash),
+    ) -> std::io::Result<()> {
+        self.scan_headers(visit)
+    }
 }
 
 /// Volatile in-memory store.

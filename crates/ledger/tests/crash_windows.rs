@@ -1,9 +1,14 @@
 //! Crash-window acceptance: every durable tier reopens consistently from
 //! the states a crash can actually leave behind.
 //!
-//! Three windows are simulated here:
-//! * a crash *between* `SegmentStore::compact`'s per-segment renames
-//!   (constructed by mixing compacted and pre-compaction segment files);
+//! The windows simulated here:
+//! * a crash on *either side* of `SegmentStore::compact`'s single MANIFEST
+//!   commit — before it the packed segments are unlisted strays (GC'd, old
+//!   data replays), after it the superseded segments are the strays;
+//! * a crash between the MANIFEST temp write and its rename (stray
+//!   `MANIFEST.tmp` beside a live MANIFEST);
+//! * a stale MANIFEST beside newer orphan segments (must GC them, not
+//!   replay them) and a corrupt MANIFEST (loud fallback to a full scan);
 //! * a torn `HeightMap` tail and a lost staged metadata tail (the snapshot
 //!   is ahead of the durable map — healed by walking parent pointers);
 //! * a corrupt snapshot (ignored; blocks stay authoritative) versus a
@@ -12,6 +17,7 @@
 use blockprov_ledger::block::{Block, BlockHash};
 use blockprov_ledger::chain::{Chain, ChainConfig};
 use blockprov_ledger::index::{TxIndex, TxIndexConfig};
+use blockprov_ledger::floor::FloorConfig;
 use blockprov_ledger::meta::{MetaConfig, MetaStore};
 use blockprov_ledger::segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
 use blockprov_ledger::store::BlockStore;
@@ -87,6 +93,7 @@ fn small_meta(dir: &Path) -> MetaStore {
             // Snapshot every advance: these tests specifically exercise
             // the snapshot-ahead-of-durable-tail crash windows.
             snapshot_interval: 1,
+            floor: FloorConfig::default(),
         },
     )
     .unwrap()
@@ -118,16 +125,25 @@ fn build_forky_segments(dir: &Path) -> (BlockHash, u64) {
     (chain.tip(), chain.height())
 }
 
+/// File names present in `dir`.
+fn names_in(dir: &Path) -> std::collections::BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
 #[test]
-fn crash_between_compaction_segment_renames_reopens_consistently() {
-    let dir = temp_dir("compact-renames");
+fn crash_around_compaction_manifest_commit_reopens_consistently() {
+    let dir = temp_dir("compact-epoch");
     let (tip, height) = build_forky_segments(&dir);
 
-    // `full` is the post-compaction state; `crash` simulates dying after
-    // the FIRST per-segment rename landed: that segment comes from the
-    // compacted run, every other file is pre-compaction. Each rename is
-    // atomic, so this mixed directory is exactly a mid-compaction crash.
-    let full = temp_dir("compact-renames-full");
+    // `full` is the completed post-compaction state. A compaction's only
+    // commit point is one atomic MANIFEST replace: everything before it is
+    // unlisted packed segments, everything after it is unlisted superseded
+    // segments. Reconstruct both sides of that window from the before/after
+    // directory listings.
+    let full = temp_dir("compact-epoch-full");
     copy_dir(&dir, &full);
     let full_stats = {
         let config = ChainConfig {
@@ -137,45 +153,163 @@ fn crash_between_compaction_segment_renames_reopens_consistently() {
         let mut chain = Chain::replay(tiered(&full), config).unwrap();
         chain.compact().unwrap()
     };
-    assert!(full_stats.segments_rewritten >= 2, "need several renames");
-    let mut swapped = false;
-    for entry in std::fs::read_dir(&full).unwrap() {
-        let entry = entry.unwrap();
-        let name = entry.file_name();
-        let crashed = dir.join(&name);
-        if entry.file_type().unwrap().is_file()
-            && std::fs::read(entry.path()).unwrap() != std::fs::read(&crashed).unwrap()
-        {
-            std::fs::copy(entry.path(), &crashed).unwrap();
-            swapped = true;
-            break;
-        }
-    }
-    assert!(swapped, "compaction must have rewritten some segment");
+    assert!(full_stats.segments_rewritten >= 2, "need a multi-segment rewrite");
+    let before = names_in(&dir);
+    let after = names_in(&full);
+    let packed: Vec<_> = after.difference(&before).cloned().collect();
+    let superseded: Vec<_> = before.difference(&after).cloned().collect();
+    assert!(!packed.is_empty(), "compaction writes packed segments at fresh ids");
+    assert!(!superseded.is_empty(), "compaction unlinks the rewritten segments");
 
-    // The mid-crash store opens cleanly (every file is internally valid)…
-    let store = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
-    drop(store);
-    // …replays to the same tip…
+    // Window A: died after writing the packed segments, before the MANIFEST
+    // commit. Old MANIFEST is live; the packed files are strays.
+    let crash_a = temp_dir("compact-epoch-a");
+    copy_dir(&dir, &crash_a);
+    for name in &packed {
+        std::fs::copy(full.join(name), crash_a.join(name)).unwrap();
+    }
+    {
+        let config = ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        };
+        let mut chain = Chain::replay(tiered(&crash_a), config).unwrap();
+        for name in &packed {
+            assert!(!crash_a.join(name).exists(), "stray packed segment {name} must be GC'd");
+        }
+        assert_eq!(chain.tip(), tip);
+        assert_eq!(chain.height(), height);
+        chain.verify_integrity().unwrap();
+        assert!(chain.index_consistent());
+        // Nothing was lost, so re-running the compaction still reclaims.
+        let second = chain.compact().unwrap();
+        assert!(second.blocks_dropped > 0, "stale forks still present pre-commit");
+        chain.verify_integrity().unwrap();
+    }
+
+    // Window B: died after the MANIFEST commit, before unlinking the
+    // superseded segments. New MANIFEST is live; the old files are strays.
+    let crash_b = temp_dir("compact-epoch-b");
+    copy_dir(&dir, &crash_b);
+    copy_dir(&full, &crash_b); // new MANIFEST + packed files atop the old set
+    {
+        let config = ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        };
+        let mut chain = Chain::replay(tiered(&crash_b), config).unwrap();
+        for name in &superseded {
+            assert!(!crash_b.join(name).exists(), "superseded segment {name} must be GC'd");
+        }
+        assert_eq!(chain.tip(), tip);
+        assert_eq!(chain.height(), height);
+        chain.verify_integrity().unwrap();
+        assert!(chain.index_consistent());
+        // The compaction DID commit: a second pass finds nothing to drop.
+        let second = chain.compact().unwrap();
+        assert_eq!(second.blocks_dropped, 0, "post-commit state is already compact");
+    }
+
+    for d in [&dir, &full, &crash_a, &crash_b] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn stray_manifest_tmp_removed_on_reopen() {
+    let dir = temp_dir("manifest-tmp");
+    let (tip, height) = build_forky_segments(&dir);
+    // A crash between the MANIFEST temp write and its rename leaves a tmp
+    // beside the still-live old MANIFEST.
+    std::fs::write(dir.join("MANIFEST.tmp"), b"half-written manifest").unwrap();
     let config = ChainConfig {
         finality_depth: Some(2),
         ..ChainConfig::default()
     };
-    let mut chain = Chain::replay(tiered(&dir), config).unwrap();
+    let chain = Chain::replay(tiered(&dir), config).unwrap();
+    assert!(!dir.join("MANIFEST.tmp").exists(), "stray tmp must be removed");
     assert_eq!(chain.tip(), tip);
     assert_eq!(chain.height(), height);
     chain.verify_integrity().unwrap();
-    assert!(chain.index_consistent());
-    // …and a second compaction pass reclaims what the crash left behind.
-    let second = chain.compact().unwrap();
-    assert!(
-        second.blocks_dropped > 0,
-        "the not-yet-rewritten segments still held stale forks"
-    );
-    chain.verify_integrity().unwrap();
-
     std::fs::remove_dir_all(&dir).unwrap();
-    std::fs::remove_dir_all(&full).unwrap();
+}
+
+#[test]
+fn stale_manifest_garbage_collects_orphan_segments() {
+    let dir = temp_dir("manifest-stale");
+    build_forky_segments(&dir);
+    let stale = std::fs::read(dir.join("MANIFEST")).unwrap();
+    let before = names_in(&dir);
+    let stale_store = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+    let stale_tip_hash = {
+        let mut newest = None;
+        let mut best = 0u64;
+        stale_store.scan_headers(&mut |h, hash| {
+            if h >= best {
+                best = h;
+                newest = Some(hash);
+            }
+        }).unwrap();
+        newest.unwrap()
+    };
+    drop(stale_store);
+
+    // Grow the chain past several rollovers, then put the stale MANIFEST
+    // back: the newer segments become orphans no manifest ever listed.
+    let (_, _) = {
+        let config = ChainConfig {
+            finality_depth: Some(2),
+            ..ChainConfig::default()
+        };
+        let mut chain = Chain::replay(tiered(&dir), config).unwrap();
+        for i in 20..40u64 {
+            let ts = chain.tip_header().timestamp_ms + 10;
+            let block = chain.assemble_next(ts, AccountId::from_name("sealer"), 0, vec![tx("a", i)]);
+            chain.append(block).unwrap();
+        }
+        (chain.tip(), chain.height())
+    };
+    let after = names_in(&dir);
+    let orphans: Vec<_> = after.difference(&before).cloned().collect();
+    assert!(!orphans.is_empty(), "growth must have rolled new segments");
+    std::fs::write(dir.join("MANIFEST"), &stale).unwrap();
+
+    // Open must trust the manifest: orphans are GC'd, not replayed.
+    let store = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+    for name in &orphans {
+        assert!(!dir.join(name).exists(), "orphan segment {name} must be GC'd");
+    }
+    assert!(
+        store.get(&stale_tip_hash).is_some(),
+        "blocks the stale manifest covers still resolve"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_manifest_falls_back_to_full_scan() {
+    let dir = temp_dir("manifest-corrupt");
+    let (tip, height) = build_forky_segments(&dir);
+    std::fs::write(dir.join("MANIFEST"), b"\xDE\xAD\xBE\xEFnot a manifest").unwrap();
+    // Fallback is a full directory scan: every block is recovered and a
+    // fresh manifest is committed so the NEXT open is manifest-driven again.
+    let config = ChainConfig {
+        finality_depth: Some(2),
+        ..ChainConfig::default()
+    };
+    let chain = Chain::replay(tiered(&dir), config).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    chain.verify_integrity().unwrap();
+    drop(chain);
+    let store = SegmentStore::open(&dir, SegmentConfig { segment_bytes: 512 }).unwrap();
+    assert_eq!(store.epoch(), 1, "scan fallback recommits from epoch 1");
+    assert_eq!(
+        store.unindexed_segments(),
+        store.segment_count() as usize,
+        "manifest-driven reopen defers sealed segments and the active committed prefix"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Build a three-tier chain, returning (tip, height, expected alice nonce).

@@ -18,6 +18,7 @@
 
 pub mod frame;
 pub mod index;
+pub mod manifest;
 pub mod meta;
 mod reader;
 mod writer;

@@ -14,10 +14,12 @@
 //!   Entry bytes are opaque at this layer (the ledger writes raw hashes), so
 //!   a reader can binary-search a page directory without decoding bodies.
 //! * **[`CheckpointSnapshot`]**: everything the chain needs to resume at a
-//!   finality checkpoint — its height/hash, the per-author `next_nonce`
-//!   floor, the transaction-index durability watermarks, and the height-map
-//!   length at snapshot time (the self-consistency watermarks crash
-//!   recovery checks against).
+//!   finality checkpoint — its height/hash, the transaction-index and
+//!   nonce-floor durability watermarks, and the height-map length at
+//!   snapshot time (the self-consistency watermarks crash recovery checks
+//!   against). Since version 2 the snapshot carries *only* watermarks: the
+//!   per-author nonce floors themselves live in the floor store's disk
+//!   pages, so snapshot size no longer grows with the number of authors.
 
 use crate::frame::{read_frame_from, write_frame_to};
 use crate::{decode_seq, encode_seq, Codec, Reader, WireError, Writer};
@@ -29,8 +31,16 @@ pub const HEIGHT_MAGIC: [u8; 4] = *b"BPHM";
 /// Magic bytes opening every checkpoint snapshot (`BPCS`).
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"BPCS";
 
-/// Current metadata format version (height pages and snapshots).
+/// Height-page format version (unchanged since PR 4).
 pub const META_VERSION: u16 = 1;
+
+/// Checkpoint-snapshot format version. Version 2 drops the inline
+/// per-author `next_nonce` map in favour of nonce-floor watermarks (the
+/// floors page to disk beside the height map). A version-1 snapshot fails
+/// decode, which readers treat as "no usable snapshot": the node replays
+/// from blocks once and writes a fresh version-2 snapshot — self-healing,
+/// no migration path needed.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Width in bytes of one height-map entry (a block hash).
 pub const HEIGHT_ENTRY_LEN: usize = 32;
@@ -124,10 +134,9 @@ pub fn read_height_page_from<R: Read>(
 
 /// A checkpoint state snapshot: the chain state a restart resumes from.
 ///
-/// Written atomically (temp + rename) at each finality advance. Hashes and
-/// account ids appear as raw 32-byte values because the wire layer sits
-/// below the ledger's newtypes; the `next_nonce` map is sorted by account
-/// bytes so the encoding is canonical.
+/// Written atomically (temp + rename) at each finality advance. The hash
+/// appears as a raw 32-byte value because the wire layer sits below the
+/// ledger's newtypes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointSnapshot {
     /// Format version.
@@ -136,9 +145,6 @@ pub struct CheckpointSnapshot {
     pub height: u64,
     /// Hash of the checkpoint block.
     pub hash: [u8; 32],
-    /// Per-author `next_nonce` floor over all finalized history, sorted by
-    /// account bytes.
-    pub next_nonce: Vec<([u8; 32], u64)>,
     /// Per-partition durable height watermarks of the transaction index at
     /// snapshot time (empty when no index is attached).
     pub index_watermarks: Vec<u64>,
@@ -146,6 +152,14 @@ pub struct CheckpointSnapshot {
     /// entries at or below this height are guaranteed durable, so crash
     /// recovery only re-derives `(index_durable_height, height]`.
     pub index_durable_height: u64,
+    /// Per-partition durable height watermarks of the nonce-floor store at
+    /// snapshot time.
+    pub floor_watermarks: Vec<u64>,
+    /// Height through which the nonce floors were last fully synced; floors
+    /// raised by finalizing heights in `(floor_durable_height, height]`
+    /// were staged when the snapshot was cut and are re-derived from blocks
+    /// on reopen.
+    pub floor_durable_height: u64,
     /// Durable height-map length (heights covered by flushed pages) at
     /// snapshot time; a shorter map on reopen marks a torn tail to heal.
     pub height_map_len: u64,
@@ -157,9 +171,10 @@ impl Codec for CheckpointSnapshot {
         w.put_u16(self.version);
         w.put_u64(self.height);
         self.hash.encode(w);
-        encode_seq(&self.next_nonce, w);
         encode_seq(&self.index_watermarks, w);
         w.put_u64(self.index_durable_height);
+        encode_seq(&self.floor_watermarks, w);
+        w.put_u64(self.floor_durable_height);
         w.put_u64(self.height_map_len);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -168,16 +183,17 @@ impl Codec for CheckpointSnapshot {
             return Err(WireError::Invalid("bad snapshot magic"));
         }
         let version = r.get_u16()?;
-        if version != META_VERSION {
+        if version != SNAPSHOT_VERSION {
             return Err(WireError::Invalid("unsupported snapshot version"));
         }
         Ok(Self {
             version,
             height: r.get_u64()?,
             hash: <[u8; 32]>::decode(r)?,
-            next_nonce: decode_seq(r)?,
             index_watermarks: decode_seq(r)?,
             index_durable_height: r.get_u64()?,
+            floor_watermarks: decode_seq(r)?,
+            floor_durable_height: r.get_u64()?,
             height_map_len: r.get_u64()?,
         })
     }
@@ -219,12 +235,13 @@ mod tests {
 
     fn snapshot() -> CheckpointSnapshot {
         CheckpointSnapshot {
-            version: META_VERSION,
+            version: SNAPSHOT_VERSION,
             height: 42,
             hash: [7u8; 32],
-            next_nonce: vec![([1u8; 32], 5), ([2u8; 32], 99)],
             index_watermarks: vec![40, 0, 41, 12],
             index_durable_height: 38,
+            floor_watermarks: vec![39, 41],
+            floor_durable_height: 39,
             height_map_len: 40,
         }
     }

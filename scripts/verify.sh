@@ -43,6 +43,14 @@ INGEST_THREADS=1 cargo test -q -p blockprov-ledger --test ingest_equiv
 echo "== ingest pipeline equivalence: INGEST_THREADS=4 (pooled stateless stage) =="
 INGEST_THREADS=4 cargo test -q -p blockprov-ledger --test ingest_equiv
 
+echo "== manifest crash windows: segment epochs, stale/corrupt manifests, stray GC =="
+# The manifest-driven open path has its own crash matrix: a crash between
+# the temp write and the rename, a stale manifest left beside newer orphan
+# segments (must GC them, not replay them), and a corrupt manifest falling
+# back to the full directory scan. Run the suite explicitly so a filter
+# typo in the tier-1 sweep can never skip it.
+cargo test -q -p blockprov-ledger --test crash_windows
+
 echo "== benches compile: cargo bench --no-run =="
 cargo bench --no-run
 
@@ -57,9 +65,12 @@ echo "== bench smoke: cargo bench -p blockprov-bench --bench ledger_scale -- loo
 # which is the point — they exercise the 100k-block tiered, spilled-index,
 # metadata-tier (snapshot fast-start vs full replay), batched-ingest and
 # compaction paths. INGEST_SCALE_BLOCKS trims the per-thread-count scaling
-# streams to smoke length; CRITERION_JSON captures every median and metric
-# into the tracked perf-trajectory artifact.
+# streams to smoke length; COLD_START_BLOCKS=10000 trims the cold-start
+# sweep to its first point (the full 10k/50k/100k curve belongs to real
+# bench runs); CRITERION_JSON captures every median and metric into the
+# tracked perf-trajectory artifact.
 INGEST_SCALE_BLOCKS="${INGEST_SCALE_BLOCKS:-2000}" \
+COLD_START_BLOCKS="${COLD_START_BLOCKS:-10000}" \
 CRITERION_JSON="$PWD/BENCH_ledger_scale.json" \
   cargo bench -p blockprov-bench --bench ledger_scale -- lookup
 echo "perf artifact: BENCH_ledger_scale.json"
