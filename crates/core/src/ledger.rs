@@ -13,7 +13,8 @@ use blockprov_contracts::ContractRuntime;
 use blockprov_crypto::sha256::{sha256, Hash256};
 use blockprov_ledger::block::{Block, BlockHash};
 use blockprov_ledger::chain::{
-    AppendOutcome, BatchError, Chain, ChainConfig, TxInclusionProof, ValidationError,
+    AppendOutcome, BatchError, Chain, ChainConfig, ChainReader, ChainView, TxInclusionProof,
+    ValidationError,
 };
 use blockprov_ledger::mempool::{Mempool, MempoolError};
 use blockprov_ledger::tx::{AccountId, Transaction, TxId};
@@ -117,6 +118,107 @@ impl RecordProof {
             return false;
         }
         self.inclusion.tx_id == self.tx_id && self.inclusion.verify()
+    }
+}
+
+/// A cloneable, `Send + Sync` query handle over a [`ProvenanceLedger`]'s
+/// chain, obtained from [`ProvenanceLedger::reader`].
+///
+/// Backed by the chain's epoch-published snapshots and the durable tiers'
+/// published states: every method answers without blocking the writer, and
+/// multi-step queries that must agree with each other can pin one snapshot
+/// via [`LedgerReader::view`].
+#[derive(Debug, Clone)]
+pub struct LedgerReader {
+    chain: ChainReader,
+}
+
+impl LedgerReader {
+    /// The underlying chain read handle.
+    pub fn chain(&self) -> &ChainReader {
+        &self.chain
+    }
+
+    /// Pin the latest published snapshot for a prefix-consistent view.
+    pub fn view(&self) -> ChainView {
+        self.chain.view()
+    }
+
+    /// Current published tip hash.
+    pub fn tip(&self) -> BlockHash {
+        self.chain.tip()
+    }
+
+    /// Current published tip height.
+    pub fn height(&self) -> u64 {
+        self.chain.height()
+    }
+
+    /// Current published finality checkpoint height.
+    pub fn finalized_height(&self) -> u64 {
+        self.chain.finalized_height()
+    }
+
+    /// Canonical block hash at `height`.
+    pub fn hash_at(&self, height: u64) -> Option<BlockHash> {
+        self.chain.hash_at(height)
+    }
+
+    /// Fetch a stored block by hash.
+    pub fn block(&self, hash: &BlockHash) -> Option<std::sync::Arc<Block>> {
+        self.chain.block(hash)
+    }
+
+    /// Fetch the canonical block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<std::sync::Arc<Block>> {
+        self.chain.block_at(height)
+    }
+
+    /// Locate a canonical transaction: `(containing block hash, position)`.
+    pub fn tx_by_id(&self, id: &TxId) -> Option<(BlockHash, u32)> {
+        self.chain.tx_by_id(id)
+    }
+
+    /// Fetch a canonical transaction by id.
+    pub fn get_tx(&self, id: &TxId) -> Option<Transaction> {
+        self.chain.get_tx(id)
+    }
+
+    /// All canonical transaction ids by author, oldest first.
+    pub fn txs_by_author(&self, author: &AccountId) -> Vec<TxId> {
+        self.chain.txs_by_author(author)
+    }
+
+    /// All canonical transaction ids with the given kind tag, oldest first.
+    pub fn txs_by_kind(&self, kind: u16) -> Vec<TxId> {
+        self.chain.txs_by_kind(kind)
+    }
+
+    /// All canonical provenance-carrying transaction ids, oldest first.
+    pub fn provenance_txs(&self) -> Vec<TxId> {
+        self.chain.txs_by_kind(txkind::PROVENANCE)
+    }
+
+    /// Whether `hash` lies on the canonical chain.
+    pub fn is_canonical(&self, hash: &BlockHash) -> bool {
+        self.chain.is_canonical(hash)
+    }
+
+    /// Produce a Merkle inclusion proof for a canonical transaction.
+    pub fn prove_tx(&self, id: &TxId) -> Option<TxInclusionProof> {
+        self.chain.prove_tx(id)
+    }
+
+    /// Produce a user-verifiable anchoring proof for a sealed record whose
+    /// carrying transaction id is known (e.g. from
+    /// [`ProvenanceLedger::prove_record`]'s mapping at seal time).
+    pub fn prove_record_tx(&self, record_id: RecordId, tx_id: TxId) -> Option<RecordProof> {
+        let inclusion = self.chain.prove_tx(&tx_id)?;
+        Some(RecordProof {
+            record_id,
+            tx_id,
+            inclusion,
+        })
     }
 }
 
@@ -337,6 +439,22 @@ impl ProvenanceLedger {
     /// The underlying chain (read access for audits and experiments).
     pub fn chain(&self) -> &Chain {
         &self.chain
+    }
+
+    /// Attach a concurrent, cloneable query handle over the chain.
+    ///
+    /// The handle is `Send + Sync` and answers from epoch-published chain
+    /// snapshots plus the durable tiers' published states, so query threads
+    /// never block the sealing/ingest path and never observe torn commit
+    /// state. While at least one handle is alive the chain re-publishes a
+    /// snapshot at every commit point; queries then lag live state by at
+    /// most one commit. Provenance-graph state (records, DAG edges) is not
+    /// covered — this is the chain-level view: id/author/kind lookups,
+    /// height/hash resolution, block fetch and Merkle inclusion proofs.
+    pub fn reader(&mut self) -> LedgerReader {
+        LedgerReader {
+            chain: self.chain.reader(),
+        }
     }
 
     /// The provenance DAG.
@@ -1030,6 +1148,41 @@ mod tests {
         l.verify_chain().unwrap();
         assert_eq!(l.chain().height(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_reader_serves_concurrent_queries_while_sealing() {
+        let mut l = ProvenanceLedger::open(LedgerConfig::private_default().with_finality(4));
+        let alice = l.register_agent("alice").unwrap();
+        l.apply_operation(&alice, "f0", Action::Create, b"x").unwrap();
+        l.seal_block().unwrap();
+        let reader = l.reader();
+        let poller = {
+            let r = reader.clone();
+            std::thread::spawn(move || loop {
+                // Every pinned view must be internally consistent no matter
+                // where the writer is: the tip resolves at the view's own
+                // height.
+                let v = r.view();
+                assert_eq!(v.hash_at(v.height()), Some(v.tip()), "torn view");
+                if v.height() >= 10 {
+                    break;
+                }
+                std::thread::yield_now();
+            })
+        };
+        for i in 1..=12 {
+            l.apply_operation(&alice, &format!("f{i}"), Action::Create, b"x")
+                .unwrap();
+            l.seal_block().unwrap();
+        }
+        poller.join().unwrap();
+        assert_eq!(reader.height(), l.chain().height());
+        assert_eq!(reader.tip(), l.chain().tip());
+        assert_eq!(reader.provenance_txs().len(), 13);
+        let some_id = reader.provenance_txs()[4];
+        let proof = reader.prove_tx(&some_id).expect("proof through reader");
+        assert!(proof.verify());
     }
 
     #[test]

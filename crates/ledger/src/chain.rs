@@ -11,17 +11,19 @@
 //! paired with [`crate::segment::TieredStore`].
 
 use crate::block::{Block, BlockHash, BlockHeader, Checkpoint};
-use crate::floor::FloorEntry;
-use crate::index::{IndexEntry, MergeStats, TxIndex};
-use crate::meta::MetaStore;
+use crate::floor::{FloorEntry, FloorReader};
+use crate::index::{IndexEntry, MergeStats, TxIndex, TxIndexReader};
+use crate::meta::{HeightReader, MetaStore};
 use crate::pool::ValidationPool;
-use crate::store::{BlockStore, CompactionStats, MemStore};
+use crate::readview::Published;
+use crate::store::{BlockReader, BlockStore, CompactionStats, MemStore};
 use crate::tx::{AccountId, Transaction, TxId};
 use blockprov_crypto::merkle::MerkleProof;
 use blockprov_crypto::sha256::Hash256;
 use blockprov_wire::meta::{CheckpointSnapshot, SNAPSHOT_VERSION};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How strictly transaction signatures are enforced.
@@ -374,7 +376,7 @@ struct BlockUndo {
 /// over unbounded history. Author/kind lists are deques because absorb
 /// appends at the back, reorg undo pops from the back, and finality spill
 /// pops from the front.
-#[derive(Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct ChainIndex {
     tx_loc: HashMap<TxId, (BlockHash, u32)>,
     by_author: HashMap<AccountId, VecDeque<TxId>>,
@@ -544,6 +546,368 @@ impl ResidentMetadata {
     }
 }
 
+/// One immutable published view of the chain's mutable suffix, captured at
+/// a commit point: tip, canonical hash deque, finality checkpoint and a
+/// clone of the suffix [`ChainIndex`].
+///
+/// Everything *finalized* is deliberately absent — readers resolve it
+/// through the durable tiers' own published states ([`HeightReader`],
+/// [`TxIndexReader`], [`FloorReader`]), filtered to
+/// `height <= finalized_height` of this snapshot. The writer publishes each
+/// tier *before* the chain snapshot, so a tier's published state is always
+/// at least as new as any snapshot a reader holds; the height filter then
+/// trims the tier back to exactly this snapshot's prefix. That pairing is
+/// what makes a [`ChainView`]'s answers prefix-consistent: they describe one
+/// chain state that actually existed, never a torn mix of two commits.
+#[derive(Debug, Clone)]
+pub struct ChainSnapshot {
+    tip: BlockHash,
+    genesis: BlockHash,
+    canonical_base: u64,
+    canonical: VecDeque<BlockHash>,
+    finalized_height: u64,
+    checkpoint: Option<Checkpoint>,
+    index: ChainIndex,
+}
+
+impl ChainSnapshot {
+    /// Canonical tip hash at the captured commit point.
+    pub fn tip(&self) -> BlockHash {
+        self.tip
+    }
+
+    /// Genesis hash (lineage identity).
+    pub fn genesis(&self) -> BlockHash {
+        self.genesis
+    }
+
+    /// Height of the tip at the captured commit point.
+    pub fn height(&self) -> u64 {
+        self.canonical_base + self.canonical.len() as u64 - 1
+    }
+
+    /// Finality checkpoint height at the captured commit point.
+    pub fn finalized_height(&self) -> u64 {
+        self.finalized_height
+    }
+
+    /// The finality checkpoint, when a finality depth is configured.
+    pub fn checkpoint(&self) -> Option<Checkpoint> {
+        self.checkpoint
+    }
+
+    /// Canonical hash at `height` from the snapshot's in-memory suffix.
+    fn suffix_hash(&self, height: u64) -> Option<BlockHash> {
+        let idx = height.checked_sub(self.canonical_base)?;
+        self.canonical.get(idx as usize).copied()
+    }
+}
+
+/// What the writer shares with every [`ChainReader`]: the published
+/// snapshot slot, a reader census, and the durable tiers' read handles.
+///
+/// The census gates publishing — with zero readers attached the writer
+/// skips snapshot construction entirely, so a reader-free chain (replay,
+/// single-threaded benches) pays nothing for this machinery.
+struct ChainReadShared {
+    snapshot: Published<ChainSnapshot>,
+    readers: AtomicUsize,
+    blocks: Option<Arc<dyn BlockReader>>,
+    tx_index: Option<TxIndexReader>,
+    heights: Option<HeightReader>,
+    floors: Option<FloorReader>,
+}
+
+impl fmt::Debug for ChainReadShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainReadShared")
+            .field("readers", &self.readers.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cloneable, `Send + Sync` query handle over the chain's published
+/// snapshots. Obtained from [`Chain::reader`]; cloning and dropping handles
+/// maintains the reader census that gates the writer's publish work.
+///
+/// Each convenience method pins one fresh snapshot; use [`ChainReader::view`]
+/// to pin a snapshot across *several* queries that must agree with each
+/// other.
+#[derive(Debug)]
+pub struct ChainReader {
+    shared: Arc<ChainReadShared>,
+}
+
+impl Clone for ChainReader {
+    fn clone(&self) -> Self {
+        self.shared.readers.fetch_add(1, Ordering::SeqCst);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for ChainReader {
+    fn drop(&mut self) {
+        self.shared.readers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl ChainReader {
+    /// Pin the latest published snapshot for a prefix-consistent view.
+    pub fn view(&self) -> ChainView {
+        ChainView {
+            snap: self.shared.snapshot.load(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current published tip hash.
+    pub fn tip(&self) -> BlockHash {
+        self.view().tip()
+    }
+
+    /// Current published tip height.
+    pub fn height(&self) -> u64 {
+        self.view().height()
+    }
+
+    /// Current published finality checkpoint height.
+    pub fn finalized_height(&self) -> u64 {
+        self.view().finalized_height()
+    }
+
+    /// Canonical block hash at `height` in the latest published view.
+    pub fn hash_at(&self, height: u64) -> Option<BlockHash> {
+        self.view().hash_at(height)
+    }
+
+    /// Fetch any stored block (requires a store with a concurrent reader).
+    pub fn block(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.view().block(hash)
+    }
+
+    /// Fetch the canonical block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<Arc<Block>> {
+        self.view().block_at(height)
+    }
+
+    /// Locate a canonical transaction: `(containing block hash, position)`.
+    pub fn tx_by_id(&self, id: &TxId) -> Option<(BlockHash, u32)> {
+        self.view().tx_by_id(id)
+    }
+
+    /// Fetch a canonical transaction by id.
+    pub fn get_tx(&self, id: &TxId) -> Option<Transaction> {
+        self.view().get_tx(id)
+    }
+
+    /// All canonical transaction ids by author, oldest first.
+    pub fn txs_by_author(&self, author: &AccountId) -> Vec<TxId> {
+        self.view().txs_by_author(author)
+    }
+
+    /// All canonical transaction ids with the given kind tag, oldest first.
+    pub fn txs_by_kind(&self, kind: u16) -> Vec<TxId> {
+        self.view().txs_by_kind(kind)
+    }
+
+    /// Next expected nonce for an author on the canonical chain.
+    pub fn next_nonce_for(&self, author: &AccountId) -> u64 {
+        self.view().next_nonce_for(author)
+    }
+
+    /// Produce a self-contained inclusion proof for a canonical transaction.
+    pub fn prove_tx(&self, id: &TxId) -> Option<TxInclusionProof> {
+        self.view().prove_tx(id)
+    }
+
+    /// Whether `hash` lies on the canonical chain of the latest snapshot.
+    pub fn is_canonical(&self, hash: &BlockHash) -> bool {
+        self.view().is_canonical(hash)
+    }
+}
+
+/// One pinned snapshot plus the durable tiers' read handles: every query
+/// answers from the same chain state, no matter what the writer commits
+/// meanwhile.
+///
+/// Durable-tier results are filtered to `height <= finalized_height` of the
+/// pinned snapshot, which is what keeps a tier that has advanced past the
+/// snapshot from leaking newer entries into the view. Durable read *errors*
+/// surface as absence (`None` / empty), matching [`Chain::tx_by_id`]'s
+/// convention on the writer side.
+#[derive(Debug, Clone)]
+pub struct ChainView {
+    snap: Arc<ChainSnapshot>,
+    shared: Arc<ChainReadShared>,
+}
+
+impl ChainView {
+    /// The pinned snapshot itself.
+    pub fn snapshot(&self) -> &ChainSnapshot {
+        &self.snap
+    }
+
+    /// Tip hash of the pinned snapshot.
+    pub fn tip(&self) -> BlockHash {
+        self.snap.tip
+    }
+
+    /// Tip height of the pinned snapshot.
+    pub fn height(&self) -> u64 {
+        self.snap.height()
+    }
+
+    /// Finality checkpoint height of the pinned snapshot.
+    pub fn finalized_height(&self) -> u64 {
+        self.snap.finalized_height
+    }
+
+    /// The finality checkpoint, when a finality depth is configured.
+    pub fn checkpoint(&self) -> Option<Checkpoint> {
+        self.snap.checkpoint
+    }
+
+    /// Canonical block hash at `height`: the snapshot suffix covers heights
+    /// above the checkpoint, the durable height map serves finalized
+    /// history. Heights at or below the checkpoint are immutable, so a
+    /// height-map state newer than the snapshot returns the same hashes the
+    /// snapshot's writer would have.
+    pub fn hash_at(&self, height: u64) -> Option<BlockHash> {
+        if let Some(hash) = self.snap.suffix_hash(height) {
+            return Some(hash);
+        }
+        if height >= self.snap.canonical_base {
+            return None; // above the snapshot's tip
+        }
+        match &self.shared.heights {
+            Some(map) => map.hash_at(height).unwrap_or_else(|e| {
+                eprintln!("ledger: reader height lookup failed: {e}");
+                None
+            }),
+            None => None,
+        }
+    }
+
+    /// Fetch any stored block. `None` when absent *or* when the chain's
+    /// store has no concurrent reader (see [`BlockStore::reader`]).
+    pub fn block(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.shared.blocks.as_ref()?.get(hash)
+    }
+
+    /// Fetch the canonical block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<Arc<Block>> {
+        let hash = self.hash_at(height)?;
+        self.block(&hash)
+    }
+
+    /// Locate a canonical transaction: `(containing block hash, position)`.
+    /// Two-tier merged, exactly like [`Chain::tx_by_id`]: the snapshot's
+    /// suffix index first, then the durable index capped at the snapshot's
+    /// checkpoint.
+    pub fn tx_by_id(&self, id: &TxId) -> Option<(BlockHash, u32)> {
+        if let Some(loc) = self.snap.index.tx_loc.get(id) {
+            return Some(*loc);
+        }
+        let ix = self.shared.tx_index.as_ref()?;
+        ix.lookup(id, self.snap.finalized_height).unwrap_or_else(|e| {
+            eprintln!("ledger: reader tx lookup failed: {e}");
+            None
+        })
+    }
+
+    /// Locate a canonical transaction and fetch its block.
+    pub fn find_tx(&self, id: &TxId) -> Option<(Arc<Block>, u32)> {
+        let (hash, pos) = self.tx_by_id(id)?;
+        Some((self.block(&hash)?, pos))
+    }
+
+    /// Fetch a canonical transaction by id.
+    pub fn get_tx(&self, id: &TxId) -> Option<Transaction> {
+        let (block, pos) = self.find_tx(id)?;
+        block.txs.get(pos as usize).cloned()
+    }
+
+    /// All canonical transaction ids by author, oldest first: durable
+    /// entries capped at the snapshot's checkpoint, then the snapshot's
+    /// suffix list.
+    pub fn txs_by_author(&self, author: &AccountId) -> Vec<TxId> {
+        let mut out = match &self.shared.tx_index {
+            Some(ix) => ix
+                .entries_by_author(author, self.snap.finalized_height)
+                .map(|es| es.into_iter().map(|e| e.id).collect())
+                .unwrap_or_else(|e| {
+                    eprintln!("ledger: reader author sweep failed: {e}");
+                    Vec::new()
+                }),
+            None => Vec::new(),
+        };
+        if let Some(list) = self.snap.index.by_author.get(author) {
+            out.extend(list.iter().copied());
+        }
+        out
+    }
+
+    /// All canonical transaction ids with the given kind tag, oldest first.
+    pub fn txs_by_kind(&self, kind: u16) -> Vec<TxId> {
+        let mut out = match &self.shared.tx_index {
+            Some(ix) => ix
+                .entries_by_kind(kind, self.snap.finalized_height)
+                .map(|es| es.into_iter().map(|e| e.id).collect())
+                .unwrap_or_else(|e| {
+                    eprintln!("ledger: reader kind sweep failed: {e}");
+                    Vec::new()
+                }),
+            None => Vec::new(),
+        };
+        if let Some(list) = self.snap.index.by_kind.get(&kind) {
+            out.extend(list.iter().copied());
+        }
+        out
+    }
+
+    /// Next expected nonce for an author: the snapshot's mutable tier
+    /// merged with the durable nonce floor capped at the snapshot's
+    /// checkpoint, exactly like [`Chain::next_nonce_for`].
+    pub fn next_nonce_for(&self, author: &AccountId) -> u64 {
+        let mutable = self.snap.index.next_nonce.get(author).copied().unwrap_or(0);
+        let floor = match &self.shared.floors {
+            Some(floors) => floors
+                .lookup(author, self.snap.finalized_height)
+                .unwrap_or_else(|e| {
+                    eprintln!("ledger: reader floor lookup failed: {e}");
+                    None
+                })
+                .unwrap_or(0),
+            None => 0,
+        };
+        mutable.max(floor)
+    }
+
+    /// Produce a self-contained inclusion proof for a canonical transaction.
+    pub fn prove_tx(&self, id: &TxId) -> Option<TxInclusionProof> {
+        let (block, pos) = self.find_tx(id)?;
+        let (tx_id, proof) = block.prove_tx(pos as usize)?;
+        Some(TxInclusionProof {
+            tx_id,
+            block_hash: block.hash(),
+            header: block.header.clone(),
+            proof,
+        })
+    }
+
+    /// Whether `hash` lies on the canonical chain of the pinned snapshot.
+    /// Requires a store with a concurrent reader to resolve the block's
+    /// height.
+    pub fn is_canonical(&self, hash: &BlockHash) -> bool {
+        match self.block(hash) {
+            Some(block) => self.hash_at(block.header.height) == Some(*hash),
+            None => false,
+        }
+    }
+}
+
 /// The blockchain: stores all blocks (forks included), tracks the heaviest
 /// tip, maintains canonical-chain indexes and advances a finality
 /// checkpoint.
@@ -594,6 +958,8 @@ pub struct Chain {
     /// Worker pool for the stateless ingest stage, spun up lazily on the
     /// first batched append (and never for `ingest_threads == 1`).
     pool: Option<ValidationPool>,
+    /// Snapshot slot + reader census shared with every [`ChainReader`].
+    read_shared: Arc<ChainReadShared>,
 }
 
 impl Chain {
@@ -681,6 +1047,23 @@ impl Chain {
                 );
             }
         }
+        let read_shared = Self::make_read_shared(
+            store.as_ref(),
+            &tx_index,
+            &meta_tier,
+            ChainSnapshot {
+                tip: genesis,
+                genesis,
+                canonical_base: 0,
+                canonical: VecDeque::from([genesis]),
+                finalized_height: 0,
+                checkpoint: config.finality_depth.map(|_| Checkpoint {
+                    height: 0,
+                    hash: genesis,
+                }),
+                index: index.clone(),
+            },
+        );
         Self {
             config,
             store,
@@ -700,7 +1083,26 @@ impl Chain {
             last_snapshot_height: 0,
             appended: 0,
             pool: None,
+            read_shared,
         }
+    }
+
+    /// Assemble the shared read state for a freshly constructed chain:
+    /// durable-tier read handles plus an initial snapshot.
+    fn make_read_shared(
+        store: &dyn BlockStore,
+        tx_index: &Option<TxIndex>,
+        meta_tier: &Option<MetaStore>,
+        initial: ChainSnapshot,
+    ) -> Arc<ChainReadShared> {
+        Arc::new(ChainReadShared {
+            snapshot: Published::new(initial),
+            readers: AtomicUsize::new(0),
+            blocks: store.reader(),
+            tx_index: tx_index.as_ref().map(TxIndex::reader),
+            heights: meta_tier.as_ref().map(|m| m.height_map().reader()),
+            floors: meta_tier.as_ref().map(|m| m.floors().reader()),
+        })
     }
 
     /// Rebuild a chain from the blocks already persisted in `store`.
@@ -921,12 +1323,31 @@ impl Chain {
         );
         let mut at_height = HashMap::new();
         at_height.insert(snap.height, vec![cp_hash]);
+        let genesis = Self::genesis_block().hash();
+        let meta_tier = Some(meta_tier);
+        let read_shared = Self::make_read_shared(
+            store.as_ref(),
+            &tx_index,
+            &meta_tier,
+            ChainSnapshot {
+                tip: cp_hash,
+                genesis,
+                canonical_base: snap.height,
+                canonical: VecDeque::from([cp_hash]),
+                finalized_height: snap.height,
+                checkpoint: config.finality_depth.map(|_| Checkpoint {
+                    height: snap.height,
+                    hash: cp_hash,
+                }),
+                index: ChainIndex::default(),
+            },
+        );
         let mut chain = Self {
             config,
             store,
             meta,
             tip: cp_hash,
-            genesis: Self::genesis_block().hash(),
+            genesis,
             canonical_base: snap.height,
             canonical: VecDeque::from([cp_hash]),
             index: ChainIndex::default(),
@@ -934,12 +1355,13 @@ impl Chain {
             at_height,
             finalized_height: snap.height,
             tx_index,
-            meta_tier: Some(meta_tier),
+            meta_tier,
             index_synced_height: snap.index_durable_height,
             floor_synced_height: snap.floor_durable_height,
             last_snapshot_height: snap.height,
             appended: 0,
             pool: None,
+            read_shared,
         };
         chain.heal_index(&snap)?;
         chain.heal_floors(&snap)?;
@@ -1373,6 +1795,7 @@ impl Chain {
             Some(ix) => {
                 ix.sync()?;
                 self.index_synced_height = self.finalized_height;
+                self.publish_read_state();
                 Ok(())
             }
             None => Ok(()),
@@ -1410,6 +1833,62 @@ impl Chain {
         self.appended
     }
 
+    /// Attach a concurrent read handle.
+    ///
+    /// The handle is cloneable and `Send + Sync`; clones share one snapshot
+    /// slot with the writer. While at least one handle is alive the writer
+    /// re-publishes a fresh [`ChainSnapshot`] at every commit point
+    /// (append, batch append, reorg, finality advance, tier sync/merge);
+    /// with none alive it skips that work entirely, so the single-writer
+    /// hot path is unchanged when nobody is reading.
+    pub fn reader(&mut self) -> ChainReader {
+        self.force_publish_read_state();
+        self.read_shared.readers.fetch_add(1, Ordering::SeqCst);
+        ChainReader {
+            shared: Arc::clone(&self.read_shared),
+        }
+    }
+
+    /// Publish the current chain state for readers — a no-op with no
+    /// attached [`ChainReader`]s.
+    fn publish_read_state(&mut self) {
+        if self.read_shared.readers.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        self.force_publish_read_state();
+    }
+
+    /// Publish unconditionally: durable tiers first, chain snapshot second.
+    ///
+    /// The order is load-bearing. A reader loads the snapshot *first* and
+    /// queries tiers after, so tier states must be at least as new as any
+    /// loadable snapshot; publishing tiers first guarantees it, and the
+    /// reader-side `height <= finalized_height` filter trims a tier that
+    /// ran ahead back to the snapshot's prefix.
+    fn force_publish_read_state(&mut self) {
+        if let Some(ix) = &self.tx_index {
+            ix.publish();
+        }
+        if let Some(meta) = &mut self.meta_tier {
+            if let Err(e) = meta.height_map_mut().publish() {
+                // Readers keep the previous height-map state; the writer
+                // hits (and surfaces) the same flush failure on its own
+                // next write barrier.
+                eprintln!("ledger: height map publish failed: {e}");
+            }
+            meta.floors().publish();
+        }
+        self.read_shared.snapshot.store(Arc::new(ChainSnapshot {
+            tip: self.tip,
+            genesis: self.genesis,
+            canonical_base: self.canonical_base,
+            canonical: self.canonical.clone(),
+            finalized_height: self.finalized_height,
+            checkpoint: self.checkpoint(),
+            index: self.index.clone(),
+        }));
+    }
+
     /// Flush every durable tier: staged index entries become pages, the
     /// staged height-map tail becomes a page, and a fresh snapshot records
     /// the resulting watermarks. Shutdown hygiene — a restart after this
@@ -1421,6 +1900,7 @@ impl Chain {
             meta.height_map_mut().sync()?;
         }
         self.write_snapshot()?;
+        self.publish_read_state();
         Ok(())
     }
 
@@ -1483,8 +1963,10 @@ impl Chain {
             let ix = self.tx_index.as_mut().expect("checked above");
             let threshold = ix.config().merge_threshold;
             ix.merge_pages(threshold)?;
+            self.resquare_height_map()?;
             self.write_snapshot()?;
         }
+        self.publish_read_state();
         Ok(stats)
     }
 
@@ -1501,8 +1983,24 @@ impl Chain {
             .as_mut()
             .expect("checked above")
             .merge_pages(min_pages)?;
+        self.resquare_height_map()?;
         self.write_snapshot()?;
+        self.publish_read_state();
         Ok(stats)
+    }
+
+    /// Maintenance rider for the height map: when a restart left short
+    /// pages behind, rewrite the map into uniform pages. Runs at the same
+    /// moments as index merges — the store is already paying a sequential
+    /// rewrite, so the map's (much smaller) one piggybacks on that budget.
+    fn resquare_height_map(&mut self) -> std::io::Result<()> {
+        if let Some(meta) = &mut self.meta_tier {
+            let map = meta.height_map_mut();
+            if !map.is_square() {
+                map.resquare()?;
+            }
+        }
+        Ok(())
     }
 
     /// Produce a self-contained inclusion proof for a canonical transaction.
@@ -1604,7 +2102,9 @@ impl Chain {
 
     /// Validate and insert a block, updating fork choice and finality.
     pub fn append(&mut self, block: Block) -> Result<AppendOutcome, ValidationError> {
-        self.commit_prevalidated(PrevalidatedBlock::compute(block, &self.config))
+        let outcome = self.commit_prevalidated(PrevalidatedBlock::compute(block, &self.config))?;
+        self.publish_read_state();
+        Ok(outcome)
     }
 
     /// Validate and insert a batch of blocks through the two-stage ingest
@@ -1625,14 +2125,19 @@ impl Chain {
             match self.commit_prevalidated(pre) {
                 Ok(outcome) => committed.push(outcome),
                 Err(error) => {
+                    // The prefix before `index` committed — publish it.
+                    self.publish_read_state();
                     return Err(BatchError {
                         index,
                         error,
                         committed,
-                    })
+                    });
                 }
             }
         }
+        // One snapshot per batch: readers observe batch-granular epochs,
+        // and the per-block suffix clone is amortized across the batch.
+        self.publish_read_state();
         Ok(committed)
     }
 
@@ -2605,5 +3110,77 @@ mod tests {
             replayed.txs_by_author(&AccountId::from_name("r")).len(),
             2
         );
+    }
+
+    #[test]
+    fn reader_tracks_commits_and_matches_writer_queries() {
+        let dir = temp_dir("reader");
+        let (index, meta) = small_tiers(&dir);
+        let mut c = Chain::with_tiers(
+            Box::new(MemStore::new()),
+            Some(index),
+            meta,
+            ChainConfig {
+                finality_depth: Some(3),
+                ..ChainConfig::default()
+            },
+        );
+        let reader = c.reader();
+        assert_eq!(reader.tip(), c.genesis());
+        let mut hashes = vec![c.genesis()];
+        for i in 0..30 {
+            let author = ["alice", "bob"][(i % 2) as usize];
+            hashes.push(seal(&mut c, vec![tx(author, i / 2)]));
+        }
+        // Every commit re-published: the reader's view matches the writer
+        // across both tiers.
+        assert_eq!(reader.tip(), c.tip());
+        assert_eq!(reader.height(), 30);
+        assert_eq!(reader.finalized_height(), 27);
+        for (h, hash) in hashes.iter().enumerate() {
+            assert_eq!(reader.hash_at(h as u64), Some(*hash), "height {h}");
+            assert!(reader.is_canonical(hash), "height {h} canonical");
+            assert_eq!(reader.block_at(h as u64).unwrap().hash(), *hash);
+        }
+        assert_eq!(reader.hash_at(31), None);
+        let alice = AccountId::from_name("alice");
+        assert_eq!(reader.next_nonce_for(&alice), c.next_nonce_for(&alice));
+        assert_eq!(reader.txs_by_author(&alice), c.txs_by_author(&alice));
+        assert_eq!(reader.txs_by_kind(1), c.txs_by_kind(1));
+        let some_id = reader.txs_by_author(&alice)[2];
+        assert_eq!(reader.tx_by_id(&some_id), c.tx_by_id(&some_id));
+        let proof = reader.prove_tx(&some_id).expect("proof through reader");
+        assert!(proof.verify());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_view_is_immune_to_later_commits() {
+        let mut c = chain();
+        let a = seal(&mut c, vec![tx("a", 0)]);
+        let reader = c.reader();
+        let view = reader.view();
+        assert_eq!(view.tip(), a);
+        // A reorg moves the writer's tip; the pinned view keeps answering
+        // from the captured commit point, a cloned handle sees the new one.
+        let f1 = Block::assemble(1, c.genesis(), 500, AccountId::from_name("r"), 0, vec![tx("r", 0)]);
+        let f1h = f1.hash();
+        c.append(f1).unwrap();
+        let f2 = Block::assemble(2, f1h, 600, AccountId::from_name("r"), 0, vec![tx("r", 1)]);
+        let f2h = f2.hash();
+        assert!(c.append(f2).unwrap().reorged);
+        assert_eq!(view.tip(), a, "pinned view holds the old commit");
+        assert_eq!(view.hash_at(1), Some(a));
+        assert_eq!(reader.view().tip(), f2h, "fresh view sees the reorg");
+        assert_eq!(reader.view().hash_at(1), Some(f1h));
+
+        // Census: dropping the last handle stops publishing, attaching a
+        // new one force-refreshes.
+        let counted = reader.clone();
+        drop(reader);
+        drop(counted);
+        seal(&mut c, vec![tx("a", 1)]);
+        let reattached = c.reader();
+        assert_eq!(reattached.tip(), c.tip());
     }
 }

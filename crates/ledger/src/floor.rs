@@ -27,18 +27,19 @@
 //! idempotent per partition (records at or below the partition's durable
 //! watermark are dropped; finality re-derives exactly the missing suffix).
 
-use crate::cache::LruCache;
 use crate::index::{bloom_hashes, route_hash, MergeStats};
+use crate::readview::{Published, ShardedCache};
 use crate::tx::AccountId;
 use blockprov_wire::index::{
     read_page_from, write_page_to, BloomFilter, IndexPageHeader, INDEX_VERSION,
 };
 use blockprov_wire::{Codec, Reader, WireError, Writer};
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One durable floor record: `author` may not reuse nonces below `nonce`
@@ -108,7 +109,9 @@ struct PageMeta {
 /// highest staged floor per author matters.
 #[derive(Debug)]
 struct Partition {
-    pages: Vec<PageMeta>,
+    /// Shared with published states; the writer copy-on-writes via
+    /// [`Arc::make_mut`], paying one clone per publish cycle at most.
+    pages: Arc<Vec<PageMeta>>,
     staged: BTreeMap<AccountId, (u64, u64)>, // author → (nonce, height)
     file_len: u64,
     /// Largest height durably paged (0 = nothing paged yet).
@@ -119,17 +122,126 @@ fn partition_path(dir: &Path, p: u16) -> PathBuf {
     dir.join(format!("floor-{p:02}.pages"))
 }
 
+/// Reader-shared half of a [`FloorStore`]: the published immutable view and
+/// the sharded decoded-page cache both sides read through.
+#[derive(Debug)]
+pub struct FloorShared {
+    state: Published<FloorState>,
+    /// `(partition, generation, sequence)` → decoded page. The generation
+    /// bumps per partition on every merge rewrite, so readers on an old
+    /// state can never alias a post-merge page.
+    cache: ShardedCache<(u16, u64, u32), Arc<Vec<FloorEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One immutable published view of the floor store.
+#[derive(Debug)]
+struct FloorState {
+    partitions: Vec<FloorPartView>,
+}
+
+#[derive(Debug)]
+struct FloorPartView {
+    pages: Arc<Vec<PageMeta>>,
+    staged: BTreeMap<AccountId, (u64, u64)>,
+    /// Read handle pinned to the file `pages` offsets describe (a merge
+    /// renames over the path; this fd keeps the pre-merge inode readable).
+    file: Arc<File>,
+    gen: u64,
+}
+
+/// A cloneable, `Send + Sync` read handle over the last published
+/// [`FloorStore`] state.
+#[derive(Debug, Clone)]
+pub struct FloorReader {
+    shared: Arc<FloorShared>,
+}
+
+impl FloorReader {
+    /// The author's floor considering only records at or below `h_limit`,
+    /// in the published view. Same max-over-all-admitted-pages semantics as
+    /// [`FloorStore::lookup`].
+    pub fn lookup(&self, author: &AccountId, h_limit: u64) -> io::Result<Option<u64>> {
+        let state = self.shared.state.load();
+        if state.partitions.is_empty() {
+            return Ok(None);
+        }
+        let p = (route_hash(author.0.as_bytes()) % state.partitions.len() as u64) as u16;
+        let part = &state.partitions[p as usize];
+        let mut floor: Option<u64> = None;
+        if let Some(&(nonce, height)) = part.staged.get(author) {
+            if height <= h_limit {
+                floor = Some(nonce);
+            }
+        }
+        let (h1, h2) = bloom_hashes(author.0.as_bytes());
+        for seq in 0..part.pages.len() as u32 {
+            let meta = &part.pages[seq as usize];
+            if meta.header.first_height > h_limit || !meta.header.key_bloom.contains(h1, h2) {
+                continue;
+            }
+            let entries =
+                read_floor_page(&self.shared, &part.file, p, part.gen, seq, meta)?;
+            let start = entries.partition_point(|e| e.author < *author);
+            let hit = entries[start..]
+                .iter()
+                .take_while(|e| e.author == *author)
+                .filter(|e| e.height <= h_limit)
+                .map(|e| e.nonce)
+                .max();
+            floor = floor.max(hit);
+        }
+        Ok(floor)
+    }
+}
+
+/// Fetch one decoded floor page through the shared cache; positional read
+/// (`pread`) on miss, so concurrent readers share no seek cursor.
+fn read_floor_page(
+    shared: &FloorShared,
+    file: &File,
+    p: u16,
+    gen: u64,
+    seq: u32,
+    meta: &PageMeta,
+) -> io::Result<Arc<Vec<FloorEntry>>> {
+    if let Some(hit) = shared.cache.get(&(p, gen, seq)) {
+        shared.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit);
+    }
+    shared.misses.fetch_add(1, Ordering::Relaxed);
+    let mut body = vec![0u8; meta.len as usize];
+    file.read_exact_at(&mut body, meta.offset)?;
+    let mut reader = Reader::new(&body);
+    let header = IndexPageHeader::decode(&mut reader)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut entries = Vec::with_capacity(header.entry_count as usize);
+    for _ in 0..header.entry_count {
+        entries.push(
+            FloorEntry::decode(&mut reader)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+    }
+    let arc = Arc::new(entries);
+    shared.cache.insert((p, gen, seq), Arc::clone(&arc));
+    Ok(arc)
+}
+
+/// Shards in the decoded-page cache (see [`ShardedCache`]).
+const PAGE_CACHE_SHARDS: usize = 8;
+
 /// The durable, crash-safe nonce-floor store.
 pub struct FloorStore {
     dir: PathBuf,
     config: FloorConfig,
     partitions: Vec<Partition>,
     writers: Vec<BufWriter<File>>,
-    /// Decoded page cache: (partition, sequence) → entries sorted by author.
-    cache: RefCell<LruCache<(u16, u32), Arc<Vec<FloorEntry>>>>,
-    reader: RefCell<Option<(u16, File)>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    /// Per-partition read handle for the current file; replaced on merge.
+    read_files: Vec<Arc<File>>,
+    /// Per-partition file generation, bumped on every merge rewrite.
+    gens: Vec<u64>,
+    shared: Arc<FloorShared>,
     bytes: u64,
 }
 
@@ -197,6 +309,7 @@ impl FloorStore {
         };
         let mut partitions = Vec::with_capacity(partition_count as usize);
         let mut writers = Vec::with_capacity(partition_count as usize);
+        let mut read_files = Vec::with_capacity(partition_count as usize);
         let mut bytes = 0u64;
         for p in 0..partition_count {
             let path = partition_path(&dir, p);
@@ -205,7 +318,7 @@ impl FloorStore {
             } else {
                 File::create(&path)?;
                 Partition {
-                    pages: Vec::new(),
+                    pages: Arc::new(Vec::new()),
                     staged: BTreeMap::new(),
                     file_len: 0,
                     last_height: 0,
@@ -215,19 +328,56 @@ impl FloorStore {
             writers.push(BufWriter::new(
                 OpenOptions::new().append(true).open(&path)?,
             ));
+            read_files.push(Arc::new(File::open(&path)?));
             partitions.push(part);
         }
-        Ok(Self {
+        let shared = Arc::new(FloorShared {
+            state: Published::new(FloorState {
+                partitions: Vec::new(),
+            }),
+            cache: ShardedCache::new(config.cached_pages, PAGE_CACHE_SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        let store = Self {
             dir,
             config,
             partitions,
             writers,
-            cache: RefCell::new(LruCache::new(config.cached_pages)),
-            reader: RefCell::new(None),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            read_files,
+            gens: vec![0; partition_count as usize],
+            shared,
             bytes,
-        })
+        };
+        store.publish();
+        Ok(store)
+    }
+
+    /// Publish the current durable + staged view for readers. Cheap when
+    /// pages are unchanged since the last publish (`Arc` clone per
+    /// partition); the staged maps are cloned each time, which is bounded
+    /// by `page_entries` records per partition.
+    pub fn publish(&self) {
+        self.shared.state.store(Arc::new(FloorState {
+            partitions: self
+                .partitions
+                .iter()
+                .enumerate()
+                .map(|(p, part)| FloorPartView {
+                    pages: Arc::clone(&part.pages),
+                    staged: part.staged.clone(),
+                    file: Arc::clone(&self.read_files[p]),
+                    gen: self.gens[p],
+                })
+                .collect(),
+        }));
+    }
+
+    /// A read handle over the last published state.
+    pub fn reader(&self) -> FloorReader {
+        FloorReader {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Scan one partition file's page headers, truncating a torn tail.
@@ -268,7 +418,7 @@ impl FloorStore {
             f.sync_all()?;
         }
         Ok(Partition {
-            pages,
+            pages: Arc::new(pages),
             staged: BTreeMap::new(),
             file_len: pos,
             last_height,
@@ -319,6 +469,7 @@ impl FloorStore {
                 self.cut_page(p)?;
             }
         }
+        self.publish();
         Ok(())
     }
 
@@ -382,42 +533,25 @@ impl FloorStore {
         part.file_len += blockprov_wire::frame::frame_len(payload_len as usize);
         part.last_height = part.last_height.max(meta.header.last_height);
         self.bytes += blockprov_wire::frame::frame_len(payload_len as usize);
-        self.cache
-            .borrow_mut()
-            .insert((p as u16, meta.header.sequence), Arc::new(entries));
-        part.pages.push(meta);
+        self.shared.cache.insert(
+            (p as u16, self.gens[p], meta.header.sequence),
+            Arc::new(entries),
+        );
+        Arc::make_mut(&mut part.pages).push(meta);
         Ok(())
     }
 
     /// Load (or fetch from cache) the decoded entries of one page.
     fn page_entries(&self, p: u16, seq: u32) -> io::Result<Arc<Vec<FloorEntry>>> {
-        if let Some(hit) = self.cache.borrow_mut().get(&(p, seq)) {
-            self.hits.set(self.hits.get() + 1);
-            return Ok(Arc::clone(hit));
-        }
-        self.misses.set(self.misses.get() + 1);
         let meta = &self.partitions[p as usize].pages[seq as usize];
-        let mut slot = self.reader.borrow_mut();
-        if slot.as_ref().map(|(id, _)| *id) != Some(p) {
-            *slot = Some((p, File::open(partition_path(&self.dir, p))?));
-        }
-        let (_, file) = slot.as_mut().expect("reader just installed");
-        file.seek(SeekFrom::Start(meta.offset))?;
-        let mut body = vec![0u8; meta.len as usize];
-        file.read_exact(&mut body)?;
-        let mut reader = Reader::new(&body);
-        let header = IndexPageHeader::decode(&mut reader)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut entries = Vec::with_capacity(header.entry_count as usize);
-        for _ in 0..header.entry_count {
-            entries.push(
-                FloorEntry::decode(&mut reader)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-            );
-        }
-        let arc = Arc::new(entries);
-        self.cache.borrow_mut().insert((p, seq), Arc::clone(&arc));
-        Ok(arc)
+        read_floor_page(
+            &self.shared,
+            &self.read_files[p as usize],
+            p,
+            self.gens[p as usize],
+            seq,
+            meta,
+        )
     }
 
     /// The author's floor considering only records at or below `h_limit`
@@ -459,15 +593,26 @@ impl FloorStore {
         Ok(floor)
     }
 
-    /// Merge each over-threshold partition's pages down to the max-nonce
-    /// record per author.
+    /// Merge each over-threshold partition's pages, dropping exactly the
+    /// *dominated* records.
     ///
-    /// Unlike the tx index, dominated floor records are *dead* — a lookup
-    /// only ever needs an author's maximum floor — so merging here both
-    /// collapses the page sweep and reclaims bytes. The collapsed record
-    /// carries the partition's max seen height so the durable watermark
-    /// (and append idempotence) survives the rewrite. Temp + rename per
-    /// partition; a crash leaves either the old or the new sequence.
+    /// A record is dominated when another record for the same author has
+    /// `nonce >= it` at `height <= it` — no height ceiling can ever make
+    /// the dominated record the lookup answer. What survives is each
+    /// author's Pareto staircase: the records where the running-max nonce
+    /// strictly rises as height rises. Collapsing further (the original
+    /// merge kept one max-nonce record stamped with the partition's max
+    /// height) would transiently *hide* a floor from a fast-started node
+    /// replaying with `h_limit` below the stamped height — the ROADMAP
+    /// follow-up this pass resolves.
+    ///
+    /// Watermark idempotence survives differently now: kept records carry
+    /// their true heights, and the rewritten final page's header
+    /// `last_height` is raised to the partition's pre-merge watermark, so
+    /// append's replay guard never regresses. (`lookup` only consults
+    /// `first_height` for page skipping, so the raised fence is inert
+    /// there.) Temp + rename per partition; a crash leaves either the old
+    /// or the new sequence.
     pub fn merge_pages(&mut self, min_pages: usize) -> io::Result<MergeStats> {
         let min_pages = min_pages.max(2);
         let mut stats = MergeStats::default();
@@ -477,10 +622,10 @@ impl FloorStore {
             }
             let path = partition_path(&self.dir, p as u16);
             let tmp = path.with_extension("pages.tmp");
-            // Newest record per author. Partition-resident author counts
-            // are bounded (that is the point of partitioning), so the
-            // collapse map stays small even when history is long.
-            let mut newest: BTreeMap<AccountId, (u64, u64)> = BTreeMap::new();
+            // Every record per author, deduped. Partition-resident author
+            // counts are bounded (that is the point of partitioning), so
+            // the map stays small even when history is long.
+            let mut by_author: BTreeMap<AccountId, Vec<(u64, u64)>> = BTreeMap::new();
             {
                 let mut reader = BufReader::new(File::open(&path)?);
                 while let Some((header, body)) = read_page_from(&mut reader)? {
@@ -489,38 +634,59 @@ impl FloorStore {
                         let e = FloorEntry::decode(&mut r).map_err(|err| {
                             io::Error::new(io::ErrorKind::InvalidData, err.to_string())
                         })?;
-                        let slot = newest.entry(e.author).or_insert((e.nonce, e.height));
-                        if e.nonce >= slot.0 {
-                            *slot = (e.nonce, e.height.max(slot.1));
-                        }
+                        by_author.entry(e.author).or_default().push((e.height, e.nonce));
                     }
                 }
             }
-            let entries: Vec<FloorEntry> = newest
-                .into_iter()
-                .map(|(author, (nonce, height))| FloorEntry {
-                    author,
-                    nonce,
-                    height,
-                })
-                .collect();
+            let watermark = self.partitions[p].last_height;
+            let mut entries: Vec<FloorEntry> = Vec::new();
+            for (author, mut records) in by_author {
+                // Staircase: sweep by ascending height (max nonce first
+                // within a height), keep a record iff it raises the running
+                // max nonce — everything else has a dominator already kept.
+                records.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+                let mut best: Option<u64> = None;
+                for (height, nonce) in records {
+                    if best.map_or(true, |b| nonce > b) {
+                        best = Some(nonce);
+                        entries.push(FloorEntry {
+                            author,
+                            nonce,
+                            height,
+                        });
+                    }
+                }
+            }
+            // Entries are author-major (BTreeMap order) as the page binary
+            // search requires; chunk into page-sized runs.
+            let chunk = self.config.page_entries.max(1);
             let mut new_pages: Vec<PageMeta> = Vec::new();
             let mut pos = 0u64;
             {
                 let mut out = BufWriter::new(File::create(&tmp)?);
-                let (header, entry_bytes) = Self::build_page(p as u16, 0, &entries);
-                let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
-                write_page_to(&mut out, &header, &entry_bytes)?;
-                new_pages.push(PageMeta {
-                    offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
-                    len: payload_len,
-                    header,
-                });
-                pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                let total_chunks = entries.chunks(chunk).len().max(1);
+                for (seq, run) in entries.chunks(chunk).enumerate() {
+                    let (mut header, entry_bytes) = Self::build_page(p as u16, seq as u32, run);
+                    if seq + 1 == total_chunks {
+                        // The durable watermark must survive the rewrite.
+                        header.last_height = header.last_height.max(watermark);
+                    }
+                    let payload_len = (header.to_wire().len() + entry_bytes.len()) as u32;
+                    write_page_to(&mut out, &header, &entry_bytes)?;
+                    new_pages.push(PageMeta {
+                        offset: pos + blockprov_wire::frame::FRAME_OVERHEAD,
+                        len: payload_len,
+                        header,
+                    });
+                    pos += blockprov_wire::frame::frame_len(payload_len as usize);
+                }
                 out.flush()?;
                 out.get_ref().sync_all()?;
             }
             let new_writer = BufWriter::new(OpenOptions::new().append(true).open(&tmp)?);
+            // Pin the new read handle before the rename: the fd follows the
+            // inode, so it reads the live file afterwards.
+            let new_read = Arc::new(File::open(&tmp)?);
             if let Err(e) = std::fs::rename(&tmp, &path) {
                 let _ = std::fs::remove_file(&tmp);
                 return Err(e);
@@ -532,17 +698,16 @@ impl FloorStore {
             stats.bytes_before += part.file_len;
             stats.bytes_after += pos;
             self.bytes = self.bytes - part.file_len + pos;
-            part.pages = new_pages;
+            part.pages = Arc::new(new_pages);
             part.file_len = pos;
             self.writers[p] = new_writer;
-            let mut cache = self.cache.borrow_mut();
-            for key in cache.keys_by_recency() {
-                if key.0 == p as u16 {
-                    cache.remove(&key);
-                }
-            }
-            drop(cache);
-            *self.reader.borrow_mut() = None;
+            self.read_files[p] = new_read;
+            self.gens[p] += 1;
+            let (pid, gen) = (p as u16, self.gens[p]);
+            self.shared.cache.retain(|&(kp, kg, _)| kp != pid || kg == gen);
+        }
+        if stats.partitions_merged > 0 {
+            self.publish();
         }
         Ok(stats)
     }
@@ -573,9 +738,13 @@ impl FloorStore {
         self.bytes
     }
 
-    /// `(page cache hits, misses)`.
+    /// `(page cache hits, misses)` — shared between the writer and every
+    /// [`FloorReader`].
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits.get(), self.misses.get())
+        (
+            self.shared.hits.load(Ordering::Relaxed),
+            self.shared.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -758,6 +927,103 @@ mod tests {
         for i in 0..10u64 {
             assert_eq!(fs.lookup(&acct(i), 13).unwrap(), Some(200 + i));
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_drops_only_dominated_records() {
+        let dir = temp_dir("merge-dominate");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        // Author 1's staircase: (nonce 3, h 10) then (nonce 5, h 30) — both
+        // answers for some h_limit, so both must survive the merge. The
+        // record (nonce 2, h 20) is dominated by (3, 10) and must go.
+        fs.append(vec![rec(1, 3, 10)]).unwrap();
+        fs.sync().unwrap();
+        fs.append(vec![rec(1, 2, 20)]).unwrap();
+        fs.sync().unwrap();
+        fs.append(vec![rec(1, 5, 30)]).unwrap();
+        fs.sync().unwrap();
+        let stats = fs.merge_pages(2).unwrap();
+        assert!(stats.partitions_merged > 0);
+        // The regression the old collapse caused: with the merged record
+        // stamped at the partition max height, a fast-started replay asking
+        // as-of h_limit ∈ [10, 30) saw *no* floor at all.
+        assert_eq!(fs.lookup(&acct(1), 9).unwrap(), None);
+        assert_eq!(fs.lookup(&acct(1), 10).unwrap(), Some(3));
+        assert_eq!(fs.lookup(&acct(1), 20).unwrap(), Some(3));
+        assert_eq!(fs.lookup(&acct(1), 29).unwrap(), Some(3));
+        assert_eq!(fs.lookup(&acct(1), 30).unwrap(), Some(5));
+        // The dominated record is physically gone: exactly two records for
+        // the author remain across the partition's pages.
+        let p = (route_hash(acct(1).0.as_bytes()) % 4) as u16;
+        let mut kept = 0;
+        let mut reader = BufReader::new(File::open(partition_path(&dir, p)).unwrap());
+        while let Some((header, body)) = read_page_from(&mut reader).unwrap() {
+            let mut r = Reader::new(&body);
+            for _ in 0..header.entry_count {
+                let e = FloorEntry::decode(&mut r).unwrap();
+                assert_ne!((e.nonce, e.height), (2, 20), "dominated record kept");
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_preserves_watermark_idempotence() {
+        let dir = temp_dir("merge-wm");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        fs.append(vec![rec(1, 4, 10)]).unwrap();
+        fs.sync().unwrap();
+        // The highest height in this partition is carried by a *dominated*
+        // record; the staircase drops it, so the watermark must ride on the
+        // page header instead.
+        fs.append(vec![rec(1, 2, 50)]).unwrap();
+        fs.sync().unwrap();
+        fs.merge_pages(2).unwrap();
+        let p = (route_hash(acct(1).0.as_bytes()) % 4) as usize;
+        assert_eq!(
+            fs.partition_watermarks()[p],
+            50,
+            "pre-merge watermark must survive the rewrite"
+        );
+        // Crash-replay of height 50 must still dedupe.
+        assert_eq!(fs.append(vec![rec(1, 2, 50)]).unwrap(), 0);
+        // And the watermark survives reopen (it is re-derived from page
+        // headers).
+        drop(fs);
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        assert_eq!(fs.partition_watermarks()[p], 50);
+        assert_eq!(fs.append(vec![rec(1, 9, 49)]).unwrap(), 0, "replay below watermark");
+        assert_eq!(fs.lookup(&acct(1), 50).unwrap(), Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn floor_reader_tracks_published_state() {
+        let dir = temp_dir("reader");
+        let mut fs = FloorStore::open(&dir, small_config()).unwrap();
+        let reader = fs.reader();
+        assert_eq!(reader.lookup(&acct(1), 100).unwrap(), None);
+        fs.append(vec![rec(1, 7, 10)]).unwrap();
+        // Staged but unpublished: the reader still sees the old state.
+        assert_eq!(reader.lookup(&acct(1), 100).unwrap(), None);
+        fs.publish();
+        assert_eq!(reader.lookup(&acct(1), 100).unwrap(), Some(7));
+        assert_eq!(reader.lookup(&acct(1), 9).unwrap(), None);
+        // Durable pages show through the reader too, and a reader holding
+        // the pre-merge state keeps working after a merge rewrite.
+        fs.sync().unwrap();
+        fs.append(vec![rec(1, 9, 20)]).unwrap();
+        fs.sync().unwrap();
+        let stale = fs.reader();
+        let pre_merge = stale.shared.state.load();
+        fs.merge_pages(2).unwrap();
+        assert_eq!(reader.lookup(&acct(1), 20).unwrap(), Some(9));
+        // The pinned pre-merge state still answers from the old inode.
+        drop(pre_merge);
+        assert_eq!(stale.lookup(&acct(1), 10).unwrap(), Some(7));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -25,16 +25,17 @@
 //! suffix.
 
 use crate::block::BlockHash;
-use crate::cache::LruCache;
+use crate::readview::{Published, ShardedCache};
 use crate::tx::{AccountId, TxId};
 use blockprov_wire::index::{
     read_page_from, write_page_to, BloomFilter, IndexPageHeader, INDEX_VERSION,
 };
 use blockprov_wire::{Codec, Reader, WireError, Writer};
-use std::cell::{Cell, RefCell};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One spilled transaction: everything the canonical indexes knew about it.
@@ -151,9 +152,13 @@ struct PageMeta {
 }
 
 /// One partition: durable pages plus the staged (not yet paged) tail.
+///
+/// The page directory is `Arc`-shared with published reader states;
+/// [`Arc::make_mut`] gives the writer copy-on-write appends that clone the
+/// directory at most once per publish cycle.
 #[derive(Debug)]
 struct Partition {
-    pages: Vec<PageMeta>,
+    pages: Arc<Vec<PageMeta>>,
     staged: Vec<IndexEntry>,
     /// Bytes currently in the partition file.
     file_len: u64,
@@ -165,18 +170,195 @@ fn partition_path(dir: &Path, p: u16) -> PathBuf {
     dir.join(format!("idx-{p:02}.pages"))
 }
 
+/// Page-cache shard count: enough locks that a handful of reader threads
+/// rarely collide, few enough that per-shard LRU capacity stays useful.
+const PAGE_CACHE_SHARDS: usize = 8;
+
+/// State shared between the owning [`TxIndex`] and every
+/// [`TxIndexReader`]: the published immutable view, the sharded decoded-page
+/// cache, and cache counters.
+#[derive(Debug)]
+pub struct TxIndexShared {
+    state: Published<TxIndexState>,
+    /// Decoded page cache: (partition, file generation, sequence) → entries
+    /// sorted by id. Generation-keyed so pages of a pre-merge file can never
+    /// alias pages of the rewritten file.
+    cache: ShardedCache<(u16, u64, u32), Arc<Vec<IndexEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One published, immutable view of the whole index.
+#[derive(Debug)]
+struct TxIndexState {
+    partitions: Vec<TxPartView>,
+}
+
+/// One partition inside a published state. `file` is pinned to the inode
+/// the page directory describes: a concurrent merge renames a new file over
+/// the path, but this handle keeps reading the old bytes.
+#[derive(Debug)]
+struct TxPartView {
+    pages: Arc<Vec<PageMeta>>,
+    staged: Vec<IndexEntry>,
+    file: Arc<File>,
+    gen: u64,
+}
+
+/// A cloneable, `Send + Sync` read handle over the last published index
+/// state. Never blocks the writer and is never blocked by it beyond one
+/// Arc clone; results are bounded by an explicit `max_height` ceiling so
+/// callers can pin queries to a chain snapshot's finalized height.
+#[derive(Debug, Clone)]
+pub struct TxIndexReader {
+    shared: Arc<TxIndexShared>,
+}
+
+/// Decode an index page payload (header + entries) from raw bytes.
+fn decode_index_page(body: &[u8]) -> io::Result<Vec<IndexEntry>> {
+    let mut reader = Reader::new(body);
+    let header = IndexPageHeader::decode(&mut reader)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut entries = Vec::with_capacity(header.entry_count as usize);
+    for _ in 0..header.entry_count {
+        entries.push(
+            IndexEntry::decode(&mut reader)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+    }
+    Ok(entries)
+}
+
+/// Fetch one decoded page through the shared cache, reading with `pread` on
+/// miss — no seek, so concurrent readers share a file handle without a lock.
+fn read_index_page(
+    shared: &TxIndexShared,
+    file: &File,
+    p: u16,
+    gen: u64,
+    seq: u32,
+    meta: &PageMeta,
+) -> io::Result<Arc<Vec<IndexEntry>>> {
+    if let Some(hit) = shared.cache.get(&(p, gen, seq)) {
+        shared.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit);
+    }
+    shared.misses.fetch_add(1, Ordering::Relaxed);
+    let mut body = vec![0u8; meta.len as usize];
+    file.read_exact_at(&mut body, meta.offset)?;
+    let arc = Arc::new(decode_index_page(&body)?);
+    shared.cache.insert((p, gen, seq), Arc::clone(&arc));
+    Ok(arc)
+}
+
+impl TxIndexReader {
+    /// Locate a finalized transaction by id at or below `max_height`:
+    /// `(block, position)`. Latest occurrence wins, as in
+    /// [`TxIndex::lookup`].
+    pub fn lookup(&self, id: &TxId, max_height: u64) -> io::Result<Option<(BlockHash, u32)>> {
+        let state = self.shared.state.load();
+        let p = (route_hash(id.0.as_bytes()) % state.partitions.len() as u64) as usize;
+        let part = &state.partitions[p];
+        if let Some(e) = part
+            .staged
+            .iter()
+            .rev()
+            .find(|e| e.id == *id && e.height <= max_height)
+        {
+            return Ok(Some((e.block, e.pos)));
+        }
+        let (h1, h2) = bloom_hashes(id.0.as_bytes());
+        for seq in (0..part.pages.len() as u32).rev() {
+            let meta = &part.pages[seq as usize];
+            if meta.header.first_height > max_height || !meta.header.key_bloom.contains(h1, h2) {
+                continue;
+            }
+            let entries = read_index_page(&self.shared, &part.file, p as u16, part.gen, seq, meta)?;
+            let start = entries.partition_point(|e| e.id < *id);
+            let hit = entries[start..]
+                .iter()
+                .take_while(|e| e.id == *id)
+                .filter(|e| e.height <= max_height)
+                .max_by_key(|e| (e.height, e.pos));
+            if let Some(e) = hit {
+                return Ok(Some((e.block, e.pos)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Collect matching entries at or below `max_height` across every
+    /// partition, canonical `(height, pos)` order.
+    fn collect(
+        &self,
+        page_may_match: impl Fn(&IndexPageHeader) -> bool,
+        entry_matches: impl Fn(&IndexEntry) -> bool,
+        max_height: u64,
+    ) -> io::Result<Vec<IndexEntry>> {
+        let state = self.shared.state.load();
+        let mut found: Vec<IndexEntry> = Vec::new();
+        for (p, part) in state.partitions.iter().enumerate() {
+            for seq in 0..part.pages.len() as u32 {
+                let meta = &part.pages[seq as usize];
+                if meta.header.first_height > max_height || !page_may_match(&meta.header) {
+                    continue;
+                }
+                let entries =
+                    read_index_page(&self.shared, &part.file, p as u16, part.gen, seq, meta)?;
+                found.extend(
+                    entries
+                        .iter()
+                        .filter(|e| e.height <= max_height && entry_matches(e)),
+                );
+            }
+            found.extend(
+                part.staged
+                    .iter()
+                    .filter(|e| e.height <= max_height && entry_matches(e)),
+            );
+        }
+        found.sort_unstable_by_key(|e| (e.height, e.pos));
+        Ok(found)
+    }
+
+    /// Finalized entries by author at or below `max_height`, oldest first.
+    pub fn entries_by_author(
+        &self,
+        author: &AccountId,
+        max_height: u64,
+    ) -> io::Result<Vec<IndexEntry>> {
+        let (h1, h2) = bloom_hashes(author.0.as_bytes());
+        self.collect(
+            |header| header.secondary_bloom.contains(h1, h2),
+            |e| e.author == *author,
+            max_height,
+        )
+    }
+
+    /// Finalized entries with the given kind tag at or below `max_height`,
+    /// oldest first.
+    pub fn entries_by_kind(&self, kind: u16, max_height: u64) -> io::Result<Vec<IndexEntry>> {
+        let bit = 1u64 << (kind % 64);
+        self.collect(
+            |header| header.tag_mask & bit != 0,
+            |e| e.kind == kind,
+            max_height,
+        )
+    }
+}
+
 /// The durable, crash-safe transaction index.
 pub struct TxIndex {
     dir: PathBuf,
     config: TxIndexConfig,
     partitions: Vec<Partition>,
     writers: Vec<BufWriter<File>>,
-    /// Decoded page cache: (partition, sequence) → entries sorted by id.
-    cache: RefCell<LruCache<(u16, u32), Arc<Vec<IndexEntry>>>>,
-    /// Persistent reader handle, lazily switched between partitions.
-    reader: RefCell<Option<(u16, File)>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    /// Read handles pinned per partition; replaced (with the new inode's
+    /// handle) on merge so `pread`s always match the page directory.
+    read_files: Vec<Arc<File>>,
+    /// Per-partition file generation, bumped on every merge rewrite.
+    gens: Vec<u64>,
+    shared: Arc<TxIndexShared>,
     entries: u64,
     bytes: u64,
 }
@@ -247,6 +429,7 @@ impl TxIndex {
         };
         let mut partitions = Vec::with_capacity(partition_count as usize);
         let mut writers = Vec::with_capacity(partition_count as usize);
+        let mut read_files = Vec::with_capacity(partition_count as usize);
         let mut entries = 0u64;
         let mut bytes = 0u64;
         for p in 0..partition_count {
@@ -256,7 +439,7 @@ impl TxIndex {
             } else {
                 File::create(&path)?;
                 Partition {
-                    pages: Vec::new(),
+                    pages: Arc::new(Vec::new()),
                     staged: Vec::new(),
                     file_len: 0,
                     last_height: 0,
@@ -271,20 +454,58 @@ impl TxIndex {
             writers.push(BufWriter::new(
                 OpenOptions::new().append(true).open(&path)?,
             ));
+            read_files.push(Arc::new(File::open(&path)?));
             partitions.push(part);
         }
-        Ok(Self {
+        let shared = Arc::new(TxIndexShared {
+            state: Published::new(TxIndexState {
+                partitions: Vec::new(),
+            }),
+            cache: ShardedCache::new(config.cached_pages, PAGE_CACHE_SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        let gens = vec![0u64; partition_count as usize];
+        let ix = Self {
             dir,
             partitions,
             writers,
-            cache: RefCell::new(LruCache::new(config.cached_pages)),
-            reader: RefCell::new(None),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            read_files,
+            gens,
+            shared,
             entries,
             bytes,
             config,
-        })
+        };
+        ix.publish();
+        Ok(ix)
+    }
+
+    /// Publish the current durable + staged view for lock-free readers.
+    ///
+    /// Costs one clone of each partition's staged tail (bounded by
+    /// `page_entries`) plus `Arc` bumps for the page directories and file
+    /// handles; the caller gates it on readers existing.
+    pub fn publish(&self) {
+        let partitions = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(p, part)| TxPartView {
+                pages: Arc::clone(&part.pages),
+                staged: part.staged.clone(),
+                file: Arc::clone(&self.read_files[p]),
+                gen: self.gens[p],
+            })
+            .collect();
+        self.shared.state.store(Arc::new(TxIndexState { partitions }));
+    }
+
+    /// A cloneable read handle over the last published state.
+    pub fn reader(&self) -> TxIndexReader {
+        TxIndexReader {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Scan one partition file's page headers, truncating a torn tail.
@@ -337,7 +558,7 @@ impl TxIndex {
             f.sync_all()?;
         }
         Ok(Partition {
-            pages,
+            pages: Arc::new(pages),
             staged: Vec::new(),
             file_len: pos,
             last_height,
@@ -388,6 +609,7 @@ impl TxIndex {
                 self.cut_page(p)?;
             }
         }
+        self.publish();
         Ok(())
     }
 
@@ -450,10 +672,11 @@ impl TxIndex {
         part.last_height = part.last_height.max(meta.header.last_height);
         self.bytes += blockprov_wire::frame::frame_len(payload_len as usize);
         // The freshly cut page is hot by construction.
-        self.cache
-            .borrow_mut()
-            .insert((p as u16, meta.header.sequence), Arc::new(staged));
-        part.pages.push(meta);
+        self.shared.cache.insert(
+            (p as u16, self.gens[p], meta.header.sequence),
+            Arc::new(staged),
+        );
+        Arc::make_mut(&mut part.pages).push(meta);
         Ok(())
     }
 
@@ -503,11 +726,7 @@ impl TxIndex {
                 self.idx += 1;
                 e
             }
-            fn refill(
-                &mut self,
-                file: &mut File,
-                metas: &[PageMeta],
-            ) -> io::Result<bool> {
+            fn refill(&mut self, file: &File, metas: &[PageMeta]) -> io::Result<bool> {
                 while self.idx >= self.entries.len() {
                     if self.next >= self.pages.len() {
                         return Ok(false);
@@ -528,8 +747,8 @@ impl TxIndex {
             }
             let path = partition_path(&self.dir, p as u16);
             let tmp = path.with_extension("pages.tmp");
-            let metas = self.partitions[p].pages.clone();
-            let mut file = File::open(&path)?;
+            let metas: Vec<PageMeta> = self.partitions[p].pages.as_ref().clone();
+            let file = File::open(&path)?;
             // Pass 1: page id fences, decoding one page at a time. Pages
             // whose fences chain collapse into one run — chunks of a prior
             // merge stream through a single cursor instead of each pinning
@@ -537,7 +756,7 @@ impl TxIndex {
             let mut runs: Vec<Vec<usize>> = Vec::new();
             let mut prev_last: Option<TxId> = None;
             for (i, meta) in metas.iter().enumerate() {
-                let entries = Self::read_page_at(&mut file, meta)?;
+                let entries = Self::read_page_at(&file, meta)?;
                 let first = entries.first().map(|e| e.id);
                 let last = entries.last().map(|e| e.id);
                 match (prev_last, first, runs.last_mut()) {
@@ -562,7 +781,7 @@ impl TxIndex {
                 std::cmp::Reverse<((TxId, u64, u32), usize)>,
             > = std::collections::BinaryHeap::with_capacity(cursors.len());
             for (c, cursor) in cursors.iter_mut().enumerate() {
-                if cursor.refill(&mut file, &metas)? {
+                if cursor.refill(&file, &metas)? {
                     heap.push(std::cmp::Reverse((cursor.key(), c)));
                 }
             }
@@ -590,7 +809,7 @@ impl TxIndex {
                     };
                 while let Some(std::cmp::Reverse((_, c))) = heap.pop() {
                     chunk.push(cursors[c].take());
-                    if cursors[c].refill(&mut file, &metas)? {
+                    if cursors[c].refill(&file, &metas)? {
                         heap.push(std::cmp::Reverse((cursors[c].key(), c)));
                     }
                     if chunk.len() >= MERGE_PAGE_ENTRIES {
@@ -603,10 +822,13 @@ impl TxIndex {
                 out.flush()?;
                 out.get_ref().sync_all()?;
             }
-            // Re-open the append handle on the *tmp* file before the
-            // rename: the fd follows the inode through the swap, so the
-            // writer can never be stranded on an unlinked file.
+            // Re-open the append and read handles on the *tmp* file before
+            // the rename: the fds follow the inode through the swap, so
+            // neither the writer nor future preads can be stranded on an
+            // unlinked file. Readers pinned to the old inode via a published
+            // state keep reading the pre-merge bytes consistently.
             let new_writer = BufWriter::new(OpenOptions::new().append(true).open(&tmp)?);
+            let new_read = Arc::new(File::open(&tmp)?);
             if let Err(e) = std::fs::rename(&tmp, &path) {
                 let _ = std::fs::remove_file(&tmp);
                 return Err(e);
@@ -619,20 +841,20 @@ impl TxIndex {
             stats.bytes_before += part.file_len;
             stats.bytes_after += pos;
             self.bytes = self.bytes - part.file_len + pos;
-            part.pages = new_pages;
+            part.pages = Arc::new(new_pages);
             part.file_len = pos;
             self.writers[p] = new_writer;
-            // Cached pages of this partition alias stale (partition,
-            // sequence) keys; purge them. The shared reader may hold the
-            // replaced inode; reopen lazily.
-            let mut cache = self.cache.borrow_mut();
-            for key in cache.keys_by_recency() {
-                if key.0 == p as u16 {
-                    cache.remove(&key);
-                }
-            }
-            drop(cache);
-            *self.reader.borrow_mut() = None;
+            self.read_files[p] = new_read;
+            self.gens[p] += 1;
+            // Cached pages of this partition under earlier generations alias
+            // the replaced file; purge them.
+            let (pid, gen) = (p as u16, self.gens[p]);
+            self.shared
+                .cache
+                .retain(|&(kp, kg, _)| kp != pid || kg == gen);
+        }
+        if stats.partitions_merged > 0 {
+            self.publish();
         }
         Ok(stats)
     }
@@ -655,52 +877,23 @@ impl TxIndex {
     /// Decode one page's entries straight from the partition file,
     /// bypassing the cache (merge-time sequential access would only churn
     /// the LRU that lookups depend on).
-    fn read_page_at(file: &mut File, meta: &PageMeta) -> io::Result<Vec<IndexEntry>> {
-        file.seek(SeekFrom::Start(meta.offset))?;
+    fn read_page_at(file: &File, meta: &PageMeta) -> io::Result<Vec<IndexEntry>> {
         let mut body = vec![0u8; meta.len as usize];
-        file.read_exact(&mut body)?;
-        let mut reader = Reader::new(&body);
-        let header = IndexPageHeader::decode(&mut reader)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut entries = Vec::with_capacity(header.entry_count as usize);
-        for _ in 0..header.entry_count {
-            entries.push(
-                IndexEntry::decode(&mut reader)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-            );
-        }
-        Ok(entries)
+        file.read_exact_at(&mut body, meta.offset)?;
+        decode_index_page(&body)
     }
 
     /// Load (or fetch from cache) the decoded entries of one page.
     fn page_entries(&self, p: u16, seq: u32) -> io::Result<Arc<Vec<IndexEntry>>> {
-        if let Some(hit) = self.cache.borrow_mut().get(&(p, seq)) {
-            self.hits.set(self.hits.get() + 1);
-            return Ok(Arc::clone(hit));
-        }
-        self.misses.set(self.misses.get() + 1);
         let meta = &self.partitions[p as usize].pages[seq as usize];
-        let mut slot = self.reader.borrow_mut();
-        if slot.as_ref().map(|(id, _)| *id) != Some(p) {
-            *slot = Some((p, File::open(partition_path(&self.dir, p))?));
-        }
-        let (_, file) = slot.as_mut().expect("reader just installed");
-        file.seek(SeekFrom::Start(meta.offset))?;
-        let mut body = vec![0u8; meta.len as usize];
-        file.read_exact(&mut body)?;
-        let mut reader = Reader::new(&body);
-        let header = IndexPageHeader::decode(&mut reader)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut entries = Vec::with_capacity(header.entry_count as usize);
-        for _ in 0..header.entry_count {
-            entries.push(
-                IndexEntry::decode(&mut reader)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-            );
-        }
-        let arc = Arc::new(entries);
-        self.cache.borrow_mut().insert((p, seq), Arc::clone(&arc));
-        Ok(arc)
+        read_index_page(
+            &self.shared,
+            &self.read_files[p as usize],
+            p,
+            self.gens[p as usize],
+            seq,
+            meta,
+        )
     }
 
     /// Locate a finalized transaction by id: `(block, position)`.
@@ -828,9 +1021,12 @@ impl TxIndex {
             .unwrap_or(0)
     }
 
-    /// `(page cache hits, misses)`.
+    /// `(page cache hits, misses)`, across the writer and every reader.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits.get(), self.misses.get())
+        (
+            self.shared.hits.load(Ordering::Relaxed),
+            self.shared.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The index directory.
@@ -1171,6 +1367,61 @@ mod tests {
         for e in &entries {
             assert_eq!(ix.lookup(&e.id).unwrap(), Some((e.block, e.pos)));
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_respects_publish_points_and_height_ceiling() {
+        let dir = temp_dir("reader");
+        let mut ix = TxIndex::open(&dir, small_config()).unwrap();
+        let reader = ix.reader();
+        let entries: Vec<IndexEntry> = (1..=40).map(|i| entry(i, "a", 1)).collect();
+        ix.append(entries.clone()).unwrap();
+        // Pages were cut (and cached), but nothing republished yet: the
+        // reader still answers from the open-time (empty) state.
+        assert_eq!(reader.lookup(&entries[0].id, u64::MAX).unwrap(), None);
+        ix.sync().unwrap();
+        for e in &entries {
+            assert_eq!(
+                reader.lookup(&e.id, u64::MAX).unwrap(),
+                Some((e.block, e.pos))
+            );
+        }
+        // The height ceiling hides entries above it — the prefix-consistency
+        // hook the chain snapshot relies on.
+        assert_eq!(reader.lookup(&entries[39].id, 39).unwrap(), None);
+        assert_eq!(
+            reader
+                .entries_by_author(&AccountId::from_name("a"), 10)
+                .unwrap()
+                .len(),
+            10
+        );
+        assert_eq!(reader.entries_by_kind(1, 25).unwrap().len(), 25);
+        // Readers survive a merge: a handle pinned to the pre-merge state
+        // still reads the renamed-over inode through its pinned fd, and a
+        // fresh load sees the merged layout.
+        let stale = reader.shared.state.load();
+        ix.merge_pages(2).unwrap();
+        for e in &entries {
+            assert_eq!(
+                reader.lookup(&e.id, u64::MAX).unwrap(),
+                Some((e.block, e.pos))
+            );
+        }
+        let e = &entries[0];
+        let p = (route_hash(e.id.0.as_bytes()) % stale.partitions.len() as u64) as usize;
+        let part = &stale.partitions[p];
+        let (h1, h2) = bloom_hashes(e.id.0.as_bytes());
+        let found = (0..part.pages.len() as u32).rev().any(|seq| {
+            let meta = &part.pages[seq as usize];
+            meta.header.key_bloom.contains(h1, h2)
+                && read_index_page(&reader.shared, &part.file, p as u16, part.gen, seq, meta)
+                    .unwrap()
+                    .iter()
+                    .any(|x| x.id == e.id)
+        });
+        assert!(found, "pinned pre-merge state must still resolve entries");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -21,6 +21,7 @@ pub mod manifest;
 pub mod mempool;
 pub mod meta;
 pub mod pool;
+pub mod readview;
 pub mod segment;
 pub mod store;
 pub mod tx;
@@ -28,17 +29,20 @@ pub mod tx;
 pub use block::{Block, BlockHash, BlockHeader, Checkpoint};
 pub use cache::LruCache;
 pub use chain::{
-    BatchError, Chain, ChainConfig, PrevalidatedBlock, ResidentMetadata, SignaturePolicy,
-    ValidationError,
+    BatchError, Chain, ChainConfig, ChainReader, ChainSnapshot, ChainView, PrevalidatedBlock,
+    ResidentMetadata, SignaturePolicy, ValidationError,
 };
-pub use floor::{FloorConfig, FloorEntry, FloorStore};
-pub use index::{IndexEntry, MergeStats, TxIndex, TxIndexConfig};
+pub use floor::{FloorConfig, FloorEntry, FloorReader, FloorStore};
+pub use index::{IndexEntry, MergeStats, TxIndex, TxIndexConfig, TxIndexReader};
 pub use manifest::{
     commit_manifest, read_manifest, Manifest, ManifestEntry, ManifestFileKind, ManifestState,
 };
 pub use mempool::Mempool;
-pub use meta::{HeightMap, MetaConfig, MetaStore};
+pub use meta::{HeightMap, HeightReader, MetaConfig, MetaStore};
 pub use pool::ValidationPool;
-pub use segment::{SegmentConfig, SegmentStore, TieredConfig, TieredStore};
-pub use store::{BlockStore, CompactionStats, FileStore, MemStore};
+pub use readview::{Published, ShardedCache};
+pub use segment::{
+    SegmentConfig, SegmentReader, SegmentStore, TieredConfig, TieredReader, TieredStore,
+};
+pub use store::{BlockReader, BlockStore, CompactionStats, FileStore, MemReader, MemStore};
 pub use tx::{AccountId, SignatureEnvelope, Transaction, TxId};

@@ -41,22 +41,23 @@
 //! set never exceeds its configured capacity.
 
 use crate::block::{Block, BlockHash, Checkpoint};
-use crate::cache::LruCache;
 use crate::manifest::{
     commit_manifest, gc_strays, read_manifest, ManifestEntry, ManifestFileKind, ManifestState,
 };
-use crate::store::{BlockStore, CompactionStats};
+use crate::readview::{Published, ShardedCache};
+use crate::store::{BlockReader, BlockStore, CompactionStats};
 use blockprov_wire::frame::{
     frame_len, read_frame_from, write_frame_to, SegmentHeader, FRAME_OVERHEAD,
 };
 use blockprov_wire::manifest::{Manifest, SparsePoint};
 use blockprov_wire::Codec;
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Where a block's frame lives in the segment sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,8 +187,172 @@ impl SegmentInfo {
     }
 }
 
+/// Offset-index shard count: bounds writer/reader contention on the hash →
+/// location map without splintering it into per-segment maps.
+const INDEX_SHARDS: usize = 8;
+
+/// State shared between the owning [`SegmentStore`] and its concurrent
+/// readers: the sharded offset index, the lazy-indexing work list, and the
+/// published set of per-segment read handles.
+///
+/// The file set is [`Published`] rather than locked: readers resolve a
+/// location against whatever set they loaded, and because each handle's fd
+/// pins its inode, a compaction that unlinks a segment file cannot
+/// invalidate in-flight reads — they finish against the old bytes.
+#[derive(Debug)]
+pub struct SegmentShared {
+    dir: PathBuf,
+    /// Global offset index: block hash → location, sharded by the same
+    /// routing hash the tx index uses.
+    index: Vec<RwLock<HashMap<BlockHash, BlockLocation>>>,
+    /// Manifest-verified segments not yet merged into `index`, as
+    /// `(id, blocks not yet indexed)`, ascending; lazy indexing pops from
+    /// the back (newest first — lookups after a restart overwhelmingly
+    /// target recent blocks). The active segment appears here too when the
+    /// open trusted its manifest-committed prefix: only the delta past the
+    /// committed length was indexed eagerly, so its pending count is the
+    /// prefix block count. Scans run while holding this lock, serializing
+    /// the one-time lazy indexing so no thread can miss a concurrently
+    /// indexed block.
+    unindexed: Mutex<Vec<(u32, u64)>>,
+    /// Read handles for every live segment, id-ascending. `pread`-only, so
+    /// any number of threads share one handle per segment without seeking.
+    files: Published<Vec<(u32, Arc<File>)>>,
+}
+
+impl SegmentShared {
+    fn index_shard(&self, hash: &BlockHash) -> &RwLock<HashMap<BlockHash, BlockLocation>> {
+        let n = crate::index::route_hash(hash.0.as_bytes()) % self.index.len() as u64;
+        &self.index[n as usize]
+    }
+
+    fn index_get(&self, hash: &BlockHash) -> Option<BlockLocation> {
+        self.index_shard(hash)
+            .read()
+            .expect("index shard poisoned")
+            .get(hash)
+            .copied()
+    }
+
+    fn index_insert(&self, hash: BlockHash, loc: BlockLocation) {
+        self.index_shard(&hash)
+            .write()
+            .expect("index shard poisoned")
+            .insert(hash, loc);
+    }
+
+    fn index_remove(&self, hash: &BlockHash) {
+        self.index_shard(hash)
+            .write()
+            .expect("index shard poisoned")
+            .remove(hash);
+    }
+
+    fn index_len(&self) -> usize {
+        self.index
+            .iter()
+            .map(|s| s.read().expect("index shard poisoned").len())
+            .sum()
+    }
+
+    /// Find a block's location, lazily indexing sealed segments (newest
+    /// first) until the hash is found or everything is indexed.
+    fn lookup(&self, hash: &BlockHash) -> Option<BlockLocation> {
+        if let Some(loc) = self.index_get(hash) {
+            return Some(loc);
+        }
+        let mut pending = self.unindexed.lock().expect("unindexed poisoned");
+        // Re-check under the lock: another thread may have just indexed the
+        // segment holding this hash.
+        if let Some(loc) = self.index_get(hash) {
+            return Some(loc);
+        }
+        while let Some((id, _)) = pending.pop() {
+            let mut local = HashMap::new();
+            if let Err(e) =
+                SegmentStore::scan_segment(&segment_path(&self.dir, id), id, &mut local)
+            {
+                // The file passed the open-time existence/length check, so
+                // this is decode corruption discovered lazily. `get`
+                // returns Option; be loud on stderr at least.
+                eprintln!("ledger: lazy index of segment {id} failed: {e}");
+                return None;
+            }
+            let found = local.get(hash).copied();
+            for (h, loc) in local {
+                self.index_insert(h, loc);
+            }
+            if let Some(loc) = found {
+                return Some(loc);
+            }
+        }
+        None
+    }
+
+    /// Scan every still-unindexed sealed segment into the offset index,
+    /// failing loudly on corruption (unlike the best-effort path in
+    /// `lookup`). Compaction needs the complete index.
+    fn ensure_all_indexed(&self) -> io::Result<()> {
+        let mut pending = self.unindexed.lock().expect("unindexed poisoned");
+        while let Some((id, _)) = pending.pop() {
+            let mut local = HashMap::new();
+            SegmentStore::scan_segment(&segment_path(&self.dir, id), id, &mut local)?;
+            for (h, loc) in local {
+                self.index_insert(h, loc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a block at `loc` via `pread` on the published handle for its
+    /// segment. `Ok(None)` means the segment is absent from the loaded file
+    /// set — the location predates (or postdates) it; callers re-resolve.
+    fn read_at(&self, loc: BlockLocation) -> io::Result<Option<Block>> {
+        let files = self.files.load();
+        let at = files.partition_point(|&(id, _)| id < loc.segment);
+        let Some((id, file)) = files.get(at) else {
+            return Ok(None);
+        };
+        if *id != loc.segment {
+            return Ok(None);
+        }
+        let mut body = vec![0u8; loc.len as usize];
+        file.read_exact_at(&mut body, loc.offset)?;
+        Block::from_wire(&body)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Full point read: resolve, read, and retry once if a concurrent
+    /// compaction retired the resolved segment between the two steps (the
+    /// index is repointed before the retired handles are unpublished).
+    fn get_block(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        for _ in 0..2 {
+            let loc = self.lookup(hash)?;
+            match self.read_at(loc) {
+                Ok(Some(b)) => return Some(Arc::new(b)),
+                Ok(None) => continue,
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Concurrent point-read handle over a [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct SegmentReader {
+    shared: Arc<SegmentShared>,
+}
+
+impl BlockReader for SegmentReader {
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.shared.get_block(hash)
+    }
+}
+
 /// The cold tier: append-only segments listed by a `MANIFEST`, with lazily
-/// built per-segment offset indexes and a persistent reader handle.
+/// built per-segment offset indexes and shared `pread` handles.
 pub struct SegmentStore {
     dir: PathBuf,
     config: SegmentConfig,
@@ -195,26 +360,18 @@ pub struct SegmentStore {
     /// segment. Ids need not be contiguous — compaction retires old ids and
     /// packs survivors into fresh ones.
     infos: Vec<SegmentInfo>,
-    /// Global offset index: block hash → location. Interior mutability
-    /// because sealed segments are indexed lazily from `get`/`contains`,
-    /// which take `&self`.
-    index: RefCell<HashMap<BlockHash, BlockLocation>>,
-    /// Manifest-verified segments not yet merged into `index`, as
-    /// `(id, blocks not yet indexed)`, ascending; lazy indexing pops from
-    /// the back (newest first — lookups after a restart overwhelmingly
-    /// target recent blocks). The active segment appears here too when the
-    /// open trusted its manifest-committed prefix: only the delta past the
-    /// committed length was indexed eagerly, so its pending count is the
-    /// prefix block count.
-    unindexed: RefCell<Vec<(u32, u64)>>,
+    /// Index, lazy-scan list and published read handles, shared with every
+    /// [`SegmentReader`].
+    shared: Arc<SegmentShared>,
+    /// Writer-side copy of the live read handles, id-ascending; published
+    /// wholesale after every file-set change (roll, compaction).
+    files: Vec<(u32, Arc<File>)>,
     /// Open append handle for the active segment.
     writer: BufWriter<File>,
     /// Bytes of the active segment covered by the manifest on disk. Grows
     /// are re-committed every [`Self::commit_stride`] bytes so a reopen
     /// only ever re-scans a bounded delta.
     committed_len: u64,
-    /// Persistent reader handle, lazily switched between segments.
-    reader: RefCell<Option<(u32, File)>>,
     /// Total bytes across all live segment files (headers + frames).
     bytes: u64,
     /// Manifest epoch currently on disk.
@@ -365,20 +522,44 @@ impl SegmentStore {
         bytes += info.len;
         infos.push(info);
         let writer = BufWriter::new(OpenOptions::new().append(true).open(&active_path)?);
+        let (files, shared) = Self::build_shared(&dir, &infos, index, unindexed)?;
         Ok(Self {
             dir,
             config,
             infos,
-            index: RefCell::new(index),
-            unindexed: RefCell::new(unindexed),
+            shared,
+            files,
             writer,
-            reader: RefCell::new(None),
             bytes,
             epoch: m.epoch,
             committed_len: active_entry.len,
             total_dropped: 0,
             total_reclaimed: 0,
         })
+    }
+
+    /// Open one read handle per live segment and assemble the shared state,
+    /// distributing an eagerly built index across the shards.
+    fn build_shared(
+        dir: &Path,
+        infos: &[SegmentInfo],
+        index: HashMap<BlockHash, BlockLocation>,
+        unindexed: Vec<(u32, u64)>,
+    ) -> io::Result<(Vec<(u32, Arc<File>)>, Arc<SegmentShared>)> {
+        let mut files = Vec::with_capacity(infos.len());
+        for info in infos {
+            files.push((info.id, Arc::new(File::open(segment_path(dir, info.id))?)));
+        }
+        let shared = Arc::new(SegmentShared {
+            dir: dir.to_path_buf(),
+            index: (0..INDEX_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            unindexed: Mutex::new(unindexed),
+            files: Published::new(files.clone()),
+        });
+        for (h, loc) in index {
+            shared.index_insert(h, loc);
+        }
+        Ok((files, shared))
     }
 
     /// Open by scanning every segment file, then commit a manifest so the
@@ -435,14 +616,14 @@ impl SegmentStore {
                 .append(true)
                 .open(segment_path(&dir, active))?,
         );
+        let (files, shared) = Self::build_shared(&dir, &infos, index, Vec::new())?;
         let mut store = Self {
             dir,
             config,
             infos,
-            index: RefCell::new(index),
-            unindexed: RefCell::new(Vec::new()),
+            shared,
+            files,
             writer,
-            reader: RefCell::new(None),
             bytes,
             epoch: 0,
             committed_len: 0,
@@ -465,14 +646,15 @@ impl SegmentStore {
             },
         )?;
         let writer = BufWriter::new(OpenOptions::new().append(true).open(segment_path(&dir, 0))?);
+        let infos = vec![info];
+        let (files, shared) = Self::build_shared(&dir, &infos, HashMap::new(), Vec::new())?;
         Ok(Self {
             dir,
             config,
-            infos: vec![info],
-            index: RefCell::new(HashMap::new()),
-            unindexed: RefCell::new(Vec::new()),
+            infos,
+            shared,
+            files,
             writer,
-            reader: RefCell::new(None),
             bytes: header_len,
             epoch,
             committed_len: header_len,
@@ -599,46 +781,17 @@ impl SegmentStore {
         Ok(info)
     }
 
-    /// Find a block's location, lazily indexing sealed segments (newest
-    /// first) until the hash is found or everything is indexed.
-    fn lookup(&self, hash: &BlockHash) -> Option<BlockLocation> {
-        if let Some(&loc) = self.index.borrow().get(hash) {
-            return Some(loc);
-        }
-        loop {
-            let (id, _) = self.unindexed.borrow_mut().pop()?;
-            let scanned = Self::scan_segment(
-                &segment_path(&self.dir, id),
-                id,
-                &mut self.index.borrow_mut(),
-            );
-            if let Err(e) = scanned {
-                // The file passed the open-time existence/length check, so
-                // this is decode corruption discovered lazily. `get`
-                // returns Option; be loud on stderr at least.
-                eprintln!("ledger: lazy index of segment {id} failed: {e}");
-                return None;
-            }
-            if let Some(&loc) = self.index.borrow().get(hash) {
-                return Some(loc);
-            }
+    /// A cloneable, `Send + Sync` point-read handle sharing this store's
+    /// index and published file set.
+    pub fn reader(&self) -> SegmentReader {
+        SegmentReader {
+            shared: Arc::clone(&self.shared),
         }
     }
 
-    /// Scan every still-unindexed sealed segment into the offset index,
-    /// failing loudly on corruption (unlike the best-effort path in
-    /// `lookup`). Compaction needs the complete index.
-    fn ensure_all_indexed(&self) -> io::Result<()> {
-        loop {
-            let Some((id, _)) = self.unindexed.borrow_mut().pop() else {
-                return Ok(());
-            };
-            Self::scan_segment(
-                &segment_path(&self.dir, id),
-                id,
-                &mut self.index.borrow_mut(),
-            )?;
-        }
+    /// Publish the writer-side file list for readers.
+    fn publish_files(&self) {
+        self.shared.files.store(Arc::new(self.files.clone()));
     }
 
     /// Roll the writer over to a fresh segment.
@@ -668,6 +821,9 @@ impl SegmentStore {
         )?;
         self.epoch += 1;
         self.infos.push(new_info);
+        self.files
+            .push((new_id, Arc::new(File::open(segment_path(&self.dir, new_id))?)));
+        self.publish_files();
         self.writer = writer;
         self.bytes += header_len;
         self.committed_len = header_len;
@@ -696,26 +852,6 @@ impl SegmentStore {
         Ok(loc)
     }
 
-    /// Read a block at `loc` through the persistent reader handle.
-    fn read_at(&self, loc: BlockLocation) -> io::Result<Block> {
-        let mut slot = self.reader.borrow_mut();
-        // Reuse the open handle unless the location is in another segment.
-        // Reads of the active segment see fully-flushed frames only because
-        // `put`/`put_batch` flush before returning.
-        if slot.as_ref().map(|(id, _)| *id) != Some(loc.segment) {
-            *slot = Some((
-                loc.segment,
-                File::open(segment_path(&self.dir, loc.segment))?,
-            ));
-        }
-        let (_, file) = slot.as_mut().expect("reader just installed");
-        file.seek(SeekFrom::Start(loc.offset))?;
-        let mut body = vec![0u8; loc.len as usize];
-        file.read_exact(&mut body)?;
-        Block::from_wire(&body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-    }
-
     /// Number of live segment files (active one included).
     pub fn segment_count(&self) -> u32 {
         self.infos.len() as u32
@@ -725,7 +861,7 @@ impl SegmentStore {
     /// nonzero right after a manifest-driven open, draining toward zero as
     /// cold reads touch history.
     pub fn unindexed_segments(&self) -> usize {
-        self.unindexed.borrow().len()
+        self.shared.unindexed.lock().expect("unindexed poisoned").len()
     }
 
     /// Current manifest epoch (bumps on rollover and compaction).
@@ -813,7 +949,7 @@ impl SegmentStore {
         self.writer.flush()?;
         // The keep/drop walk and the index repoint need every block
         // addressable, so finish any lazy indexing up front — loudly.
-        self.ensure_all_indexed()?;
+        self.shared.ensure_all_indexed()?;
         let mut stats = CompactionStats::default();
         let cp_block = self.get(&cp.hash).ok_or_else(|| {
             io::Error::new(
@@ -878,6 +1014,7 @@ impl SegmentStore {
         // under fresh ids (resident memory stays one frame, not one
         // segment), then a fresh empty active, then the commit.
         let mut next_id = self.infos.last().expect("active segment").id + 1;
+        let first_packed_id = next_id;
         let mut packed: Vec<SegmentInfo> = Vec::new();
         let mut out: Option<BufWriter<File>> = None;
         let mut moved: Vec<(BlockHash, BlockLocation)> = Vec::new();
@@ -961,19 +1098,42 @@ impl SegmentStore {
                 entries: new_infos.iter().map(|i| i.to_entry()).collect(),
             },
         )?;
+        // New read handles: surviving clean handles carry over, packed +
+        // active files get fresh ones. Opened before the unlink so every
+        // live id always has a handle.
+        let mut new_files: Vec<(u32, Arc<File>)> = self
+            .files
+            .iter()
+            .filter(|(id, _)| !dirty.contains(id))
+            .cloned()
+            .collect();
+        for info in new_infos.iter().filter(|i| i.id >= first_packed_id) {
+            new_files.push((info.id, Arc::new(File::open(segment_path(&self.dir, info.id))?)));
+        }
+        // Three-step reader handoff, so a concurrent reader can never
+        // resolve a location whose segment has no published handle:
+        // 1. publish the union (old dirty handles still present — their fds
+        //    pin the inodes through the unlink below);
+        // 2. repoint the index at the packed locations;
+        // 3. publish the final set. A reader that raced step 2 with an old
+        //    location reads the pinned old inode; one that loads the final
+        //    set re-resolves and finds the packed location.
+        let mut union_files = new_files.clone();
+        for pair in self.files.iter().filter(|(id, _)| dirty.contains(id)) {
+            union_files.push(pair.clone());
+        }
+        union_files.sort_by_key(|&(id, _)| id);
+        self.shared.files.store(Arc::new(union_files));
         // Committed: the dirty old files are dead. A failed unlink just
         // leaves a stray the next open's GC removes.
         for id in &dirty {
             let _ = std::fs::remove_file(segment_path(&self.dir, *id));
         }
-        {
-            let mut index = self.index.borrow_mut();
-            for hash in &dropped {
-                index.remove(hash);
-            }
-            for (hash, loc) in &moved {
-                index.insert(*hash, *loc);
-            }
+        for hash in &dropped {
+            self.shared.index_remove(hash);
+        }
+        for (hash, loc) in &moved {
+            self.shared.index_insert(*hash, *loc);
         }
         let bytes_before = self.bytes;
         self.bytes = new_infos.iter().map(|i| i.len).sum();
@@ -981,8 +1141,8 @@ impl SegmentStore {
         self.epoch += 1;
         self.writer = new_writer;
         self.committed_len = active_len;
-        // The cached reader may hold a deleted file; reopen lazily.
-        *self.reader.borrow_mut() = None;
+        self.files = new_files;
+        self.publish_files();
         stats.segments_rewritten = dirty.len() as u32;
         stats.blocks_dropped = dropped.len() as u64;
         stats.bytes_reclaimed = bytes_before.saturating_sub(self.bytes);
@@ -1000,44 +1160,52 @@ impl BlockStore for SegmentStore {
         // history read. A duplicate slipping past (same block, unindexed
         // sealed segment) appends an identical frame — benign for replay,
         // and the chain layer never re-puts a block it already holds.
-        if self.index.borrow().contains_key(&hash) {
+        if self.shared.index_get(&hash).is_some() {
             return Ok(Arc::new(block));
         }
         let body = block.to_wire();
         let loc = self.append_frame(&body, block.header.height)?;
         self.writer.flush()?;
-        self.index.borrow_mut().insert(hash, loc);
+        // Index only after the flush: a concurrent reader that finds the
+        // location must find the frame's bytes on disk too.
+        self.shared.index_insert(hash, loc);
         self.maybe_commit_growth()?;
         Ok(Arc::new(block))
     }
 
     fn put_batch(&mut self, blocks: Vec<Block>) -> io::Result<Vec<Arc<Block>>> {
         let mut out = Vec::with_capacity(blocks.len());
+        // Stage index insertions until after the single end-of-batch flush:
+        // publishing a location whose frame is still in the writer's buffer
+        // would hand concurrent readers a short read. The staged set also
+        // dedupes duplicates *within* the batch.
+        let mut staged: Vec<(BlockHash, BlockLocation)> = Vec::new();
+        let mut staged_hashes: HashSet<BlockHash> = HashSet::new();
         for block in blocks {
             let hash = block.hash();
-            // Index eagerly so duplicates *within* the batch dedupe too;
-            // an error aborts the whole store anyway (callers reopen).
-            if !self.index.borrow().contains_key(&hash) {
+            if self.shared.index_get(&hash).is_none() && staged_hashes.insert(hash) {
                 let body = block.to_wire();
                 let loc = self.append_frame(&body, block.header.height)?;
-                self.index.borrow_mut().insert(hash, loc);
+                staged.push((hash, loc));
             }
             out.push(Arc::new(block));
         }
         // One flush for the whole batch — the write-amplification win over
         // per-block `put`.
         self.writer.flush()?;
+        for (hash, loc) in staged {
+            self.shared.index_insert(hash, loc);
+        }
         self.maybe_commit_growth()?;
         Ok(out)
     }
 
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        let loc = self.lookup(hash)?;
-        self.read_at(loc).ok().map(Arc::new)
+        self.shared.get_block(hash)
     }
 
     fn contains(&self, hash: &BlockHash) -> bool {
-        self.lookup(hash).is_some()
+        self.shared.lookup(hash).is_some()
     }
 
     fn len(&self) -> usize {
@@ -1045,8 +1213,19 @@ impl BlockStore for SegmentStore {
         // active segment may be *partially* indexed (trusted committed
         // prefix pending, tail already scanned), so `infos` block totals
         // would double-count the tail.
-        let pending: u64 = self.unindexed.borrow().iter().map(|&(_, n)| n).sum();
-        self.index.borrow().len() + pending as usize
+        let pending: u64 = self
+            .shared
+            .unindexed
+            .lock()
+            .expect("unindexed poisoned")
+            .iter()
+            .map(|&(_, n)| n)
+            .sum();
+        self.shared.index_len() + pending as usize
+    }
+
+    fn reader(&self) -> Option<Arc<dyn BlockReader>> {
+        Some(Arc::new(self.reader()))
     }
 
     fn stored_bytes(&self) -> u64 {
@@ -1155,6 +1334,50 @@ impl Default for TieredConfig {
     }
 }
 
+/// Hot-set shard count (see [`ShardedCache`]).
+const HOT_SHARDS: usize = 8;
+
+/// The shared hot tier: a sharded LRU of decoded blocks plus hit/miss
+/// counters, usable concurrently by the writer and every reader handle.
+#[derive(Debug)]
+struct HotTier {
+    cache: ShardedCache<BlockHash, Arc<Block>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HotTier {
+    fn get(&self, cold: &SegmentShared, hash: &BlockHash) -> Option<Arc<Block>> {
+        if let Some(hit) = self.cache.get(hash) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        let block = cold.get_block(hash)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(*hash, Arc::clone(&block));
+        Some(block)
+    }
+}
+
+/// Concurrent read handle over a [`TieredStore`]: hot-set hits are
+/// lock-per-shard, cold misses promote into the shared hot set exactly like
+/// the writer path.
+#[derive(Debug, Clone)]
+pub struct TieredReader {
+    cold: Arc<SegmentShared>,
+    hot: Arc<HotTier>,
+}
+
+impl BlockReader for TieredReader {
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.hot.get(&self.cold, hash)
+    }
+
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.cold.lookup(hash).is_some()
+    }
+}
+
 /// Hot/cold tiered store: an LRU set of decoded blocks over a
 /// [`SegmentStore`].
 ///
@@ -1164,16 +1387,14 @@ impl Default for TieredConfig {
 /// length.
 pub struct TieredStore {
     cold: SegmentStore,
-    hot: RefCell<LruCache<BlockHash, Arc<Block>>>,
-    hits: std::cell::Cell<u64>,
-    misses: std::cell::Cell<u64>,
+    hot: Arc<HotTier>,
 }
 
 impl std::fmt::Debug for TieredStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TieredStore")
             .field("cold", &self.cold)
-            .field("hot_blocks", &self.hot.borrow().len())
+            .field("hot_blocks", &self.hot.cache.len())
             .finish_non_exhaustive()
     }
 }
@@ -1183,20 +1404,35 @@ impl TieredStore {
     pub fn open<P: AsRef<Path>>(dir: P, config: TieredConfig) -> io::Result<Self> {
         Ok(Self {
             cold: SegmentStore::open(dir, config.segment)?,
-            hot: RefCell::new(LruCache::new(config.hot_capacity)),
-            hits: std::cell::Cell::new(0),
-            misses: std::cell::Cell::new(0),
+            hot: Arc::new(HotTier {
+                cache: ShardedCache::new(config.hot_capacity, HOT_SHARDS),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
         })
     }
 
-    /// `(hot hits, cold misses)` counters for cache-efficiency experiments.
+    /// `(hot hits, cold misses)` counters for cache-efficiency experiments,
+    /// aggregated across the writer and every reader handle.
     pub fn tier_stats(&self) -> (u64, u64) {
-        (self.hits.get(), self.misses.get())
+        (
+            self.hot.hits.load(Ordering::Relaxed),
+            self.hot.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The cold tier (segment layout inspection).
     pub fn cold(&self) -> &SegmentStore {
         &self.cold
+    }
+
+    /// A cloneable, `Send + Sync` read handle sharing the hot set and the
+    /// cold tier's published state.
+    pub fn tiered_reader(&self) -> TieredReader {
+        TieredReader {
+            cold: Arc::clone(&self.cold.shared),
+            hot: Arc::clone(&self.hot),
+        }
     }
 }
 
@@ -1204,28 +1440,20 @@ impl BlockStore for TieredStore {
     fn put(&mut self, block: Block) -> io::Result<Arc<Block>> {
         let hash = block.hash();
         let arc = self.cold.put(block)?;
-        self.hot.borrow_mut().insert(hash, Arc::clone(&arc));
+        self.hot.cache.insert(hash, Arc::clone(&arc));
         Ok(arc)
     }
 
     fn put_batch(&mut self, blocks: Vec<Block>) -> io::Result<Vec<Arc<Block>>> {
         let arcs = self.cold.put_batch(blocks)?;
-        let mut hot = self.hot.borrow_mut();
         for arc in &arcs {
-            hot.insert(arc.hash(), Arc::clone(arc));
+            self.hot.cache.insert(arc.hash(), Arc::clone(arc));
         }
         Ok(arcs)
     }
 
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        if let Some(hit) = self.hot.borrow_mut().get(hash) {
-            self.hits.set(self.hits.get() + 1);
-            return Some(Arc::clone(hit));
-        }
-        let block = self.cold.get(hash)?;
-        self.misses.set(self.misses.get() + 1);
-        self.hot.borrow_mut().insert(*hash, Arc::clone(&block));
-        Some(block)
+        self.hot.get(&self.cold.shared, hash)
     }
 
     fn contains(&self, hash: &BlockHash) -> bool {
@@ -1241,13 +1469,13 @@ impl BlockStore for TieredStore {
     }
 
     fn resident_blocks(&self) -> usize {
-        self.hot.borrow().len()
+        self.hot.cache.len()
     }
 
     fn demote(&mut self, hash: &BlockHash) {
         // Safe to drop from the hot set: the block became durable in the
         // cold tier before `put` returned.
-        self.hot.borrow_mut().remove(hash);
+        self.hot.cache.remove(hash);
     }
 
     fn compact(&mut self, checkpoint: &Checkpoint) -> io::Result<CompactionStats> {
@@ -1255,14 +1483,14 @@ impl BlockStore for TieredStore {
         if stats.blocks_dropped > 0 {
             // Purge hot copies of dropped blocks so `get` cannot resurrect
             // a block the cold tier no longer holds.
-            let mut hot = self.hot.borrow_mut();
-            for key in hot.keys_by_recency() {
-                if !self.cold.contains(&key) {
-                    hot.remove(&key);
-                }
-            }
+            let cold = &self.cold;
+            self.hot.cache.retain(|key| cold.contains(key));
         }
         Ok(stats)
+    }
+
+    fn reader(&self) -> Option<Arc<dyn BlockReader>> {
+        Some(Arc::new(self.tiered_reader()))
     }
 
     fn scan(&self, visit: &mut dyn FnMut(Arc<Block>)) -> io::Result<()> {
@@ -1758,6 +1986,63 @@ mod tests {
             f.write_all(&[0xAB; 16]).unwrap();
         }
         assert!(SegmentStore::open(&dir, SegmentConfig::default()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_reader_serves_during_writes_and_compaction() {
+        let dir = temp_dir("tiered-rw");
+        let blocks = chain_blocks(60);
+        let mut s = TieredStore::open(
+            &dir,
+            TieredConfig {
+                segment: SegmentConfig { segment_bytes: 512 },
+                hot_capacity: 8,
+            },
+        )
+        .unwrap();
+        s.put_batch(blocks[..30].to_vec()).unwrap();
+
+        let reader = s.tiered_reader();
+        let hashes: Vec<BlockHash> = blocks.iter().map(|b| b.hash()).collect();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let reader = reader.clone();
+                let hashes = hashes.clone();
+                let blocks = blocks.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = i % 30;
+                        // The first 30 blocks are durable before the reader
+                        // was handed out; they must always resolve intact.
+                        let got = reader.get(&hashes[k]).expect("durable block vanished");
+                        assert_eq!(*got, blocks[k]);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+
+        // Writer keeps appending and then compacts while readers sweep.
+        for b in &blocks[30..] {
+            s.put(b.clone()).unwrap();
+        }
+        let checkpoint = Checkpoint {
+            height: 40,
+            hash: hashes[40],
+        };
+        s.compact(&checkpoint).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Post-compaction the reader still resolves every surviving block.
+        for b in &blocks[40..] {
+            assert_eq!(*reader.get(&b.hash()).unwrap(), *b);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// What one compaction pass reclaimed (tombstone accounting, E3).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,6 +23,21 @@ pub struct CompactionStats {
     pub blocks_dropped: u64,
     /// Bytes returned to the filesystem.
     pub bytes_reclaimed: u64,
+}
+
+/// A concurrent, read-only view of a block store.
+///
+/// Handles are `Send + Sync` and never require `&mut` access to the owning
+/// store, so query threads can fetch blocks while the writer appends.
+/// Implementations serve point reads only — scans and mutation stay on the
+/// owning [`BlockStore`].
+pub trait BlockReader: Send + Sync {
+    /// Fetch a block by hash.
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>>;
+    /// Whether a block exists.
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.get(hash).is_some()
+    }
 }
 
 /// Backing storage for blocks (forks included).
@@ -112,44 +127,110 @@ pub trait BlockStore: Send {
     ) -> std::io::Result<()> {
         self.scan_headers(visit)
     }
+
+    /// A concurrent read handle, when the backend supports one.
+    ///
+    /// `None` means reads must go through the owning store ([`FileStore`]
+    /// keeps single-threaded `RefCell` internals; callers fall back to the
+    /// writer-owned path). Tiered segment storage and [`MemStore`] return
+    /// shared handles.
+    fn reader(&self) -> Option<Arc<dyn BlockReader>> {
+        None
+    }
 }
 
-/// Volatile in-memory store.
-#[derive(Debug, Default)]
+/// Shard count for [`MemStore`]'s concurrent map.
+const MEM_STORE_SHARDS: usize = 8;
+
+/// Hash-sharded block map shared between a [`MemStore`] and its readers.
+type MemShards = Arc<Vec<RwLock<HashMap<BlockHash, (Arc<Block>, u64)>>>>;
+
+fn mem_shard(shards: &MemShards, hash: &BlockHash) -> usize {
+    (crate::index::route_hash(hash.0.as_bytes()) % shards.len() as u64) as usize
+}
+
+/// Volatile in-memory store, sharded so [`MemStore::reader`] handles can
+/// fetch blocks concurrently with the writer.
+#[derive(Debug)]
 pub struct MemStore {
     /// Block plus its insertion sequence number (scan order).
-    blocks: HashMap<BlockHash, (Arc<Block>, u64)>,
+    blocks: MemShards,
     next_seq: u64,
     bytes: u64,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemStore {
     /// Create an empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            blocks: Arc::new(
+                (0..MEM_STORE_SHARDS)
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect(),
+            ),
+            next_seq: 0,
+            bytes: 0,
+        }
+    }
+}
+
+/// Concurrent point-read handle over a [`MemStore`]'s shards. Readers take
+/// one shard read-lock per fetch; the writer write-locks only the shard it
+/// inserts into.
+#[derive(Debug, Clone)]
+pub struct MemReader {
+    blocks: MemShards,
+}
+
+impl BlockReader for MemReader {
+    fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        self.blocks[mem_shard(&self.blocks, hash)]
+            .read()
+            .expect("mem shard poisoned")
+            .get(hash)
+            .map(|(b, _)| Arc::clone(b))
     }
 }
 
 impl BlockStore for MemStore {
     fn put(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
         let hash = block.hash();
-        if let Some((existing, _)) = self.blocks.get(&hash) {
+        let shard = mem_shard(&self.blocks, &hash);
+        let mut map = self.blocks[shard].write().expect("mem shard poisoned");
+        if let Some((existing, _)) = map.get(&hash) {
             return Ok(Arc::clone(existing));
         }
         let arc = Arc::new(block);
-        self.blocks.insert(hash, (Arc::clone(&arc), self.next_seq));
+        map.insert(hash, (Arc::clone(&arc), self.next_seq));
+        drop(map);
         self.next_seq += 1;
         self.bytes += arc.encoded_len() as u64;
         Ok(arc)
     }
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        self.blocks.get(hash).map(|(b, _)| Arc::clone(b))
+        self.blocks[mem_shard(&self.blocks, hash)]
+            .read()
+            .expect("mem shard poisoned")
+            .get(hash)
+            .map(|(b, _)| Arc::clone(b))
     }
     fn contains(&self, hash: &BlockHash) -> bool {
-        self.blocks.contains_key(hash)
+        self.blocks[mem_shard(&self.blocks, hash)]
+            .read()
+            .expect("mem shard poisoned")
+            .contains_key(hash)
     }
     fn len(&self) -> usize {
-        self.blocks.len()
+        self.blocks
+            .iter()
+            .map(|s| s.read().expect("mem shard poisoned").len())
+            .sum()
     }
     fn stored_bytes(&self) -> u64 {
         self.bytes
@@ -158,12 +239,26 @@ impl BlockStore for MemStore {
         // Insertion order, exactly like the durable stores' append order:
         // parents were validated before children, and replay tie-breaking
         // (equal-work forks at one height) stays deterministic.
-        let mut blocks: Vec<&(Arc<Block>, u64)> = self.blocks.values().collect();
+        let mut blocks: Vec<(Arc<Block>, u64)> = Vec::new();
+        for shard in self.blocks.iter() {
+            blocks.extend(
+                shard
+                    .read()
+                    .expect("mem shard poisoned")
+                    .values()
+                    .map(|(b, seq)| (Arc::clone(b), *seq)),
+            );
+        }
         blocks.sort_by_key(|(_, seq)| *seq);
         for (b, _) in blocks {
-            visit(Arc::clone(b));
+            visit(b);
         }
         Ok(())
+    }
+    fn reader(&self) -> Option<Arc<dyn BlockReader>> {
+        Some(Arc::new(MemReader {
+            blocks: Arc::clone(&self.blocks),
+        }))
     }
 }
 
@@ -376,6 +471,39 @@ mod tests {
         let mut again = Vec::new();
         s.scan(&mut |b| again.push(b.header.height)).unwrap();
         assert_eq!(again, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mem_store_reader_sees_writer_inserts() {
+        let mut s = MemStore::new();
+        let reader = s.reader().expect("MemStore supports concurrent reads");
+        let b = block(1);
+        let h = b.hash();
+        assert!(reader.get(&h).is_none());
+        s.put(b.clone()).unwrap();
+        assert_eq!(*reader.get(&h).unwrap(), b);
+        assert!(reader.contains(&h));
+        // The handle keeps working while the writer continues from another
+        // thread (it shares the sharded map, not a snapshot).
+        let writer = std::thread::spawn(move || {
+            for i in 2..50u64 {
+                s.put(block(i)).unwrap();
+            }
+            s
+        });
+        let s = writer.join().unwrap();
+        for i in 2..50u64 {
+            assert!(reader.get(&block(i).hash()).is_some());
+        }
+        assert_eq!(s.len(), 49);
+    }
+
+    #[test]
+    fn file_store_has_no_concurrent_reader() {
+        let path = temp_file("noreader");
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.reader().is_none());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

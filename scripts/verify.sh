@@ -51,6 +51,14 @@ echo "== manifest crash windows: segment epochs, stale/corrupt manifests, stray 
 # typo in the tier-1 sweep can never skip it.
 cargo test -q -p blockprov-ledger --test crash_windows
 
+echo "== reader snapshot consistency: 1/2/8 reader threads vs a reorging writer =="
+# The lock-free read path's core property: every ChainView a reader pins —
+# while the writer appends, forks, reorgs and finalizes — is
+# prefix-consistent (tip resolves, no holes, finalized prefix immutable).
+# Run the stress suite explicitly so a filter typo in the tier-1 sweep can
+# never skip it.
+cargo test -q -p blockprov-ledger --test reader_snapshot_prop
+
 echo "== benches compile: cargo bench --no-run =="
 cargo bench --no-run
 
@@ -73,6 +81,17 @@ INGEST_SCALE_BLOCKS="${INGEST_SCALE_BLOCKS:-2000}" \
 COLD_START_BLOCKS="${COLD_START_BLOCKS:-10000}" \
 CRITERION_JSON="$PWD/BENCH_ledger_scale.json" \
   cargo bench -p blockprov-bench --bench ledger_scale -- lookup
+
+echo "== bench smoke: cargo bench -p blockprov-bench --bench mixed_rw =="
+# Mixed read/write: one writer floods append_batch while 1/2/4/8 detached
+# reader threads run point + sweep queries against epoch-published
+# snapshots. MIXED_RW_BLOCKS trims the history/flood streams to smoke
+# length; CRITERION_JSON_MERGE folds the reader-latency and
+# writer-degradation metrics into the same tracked artifact ledger_scale
+# just wrote (merge by name — ledger_scale's entries survive).
+MIXED_RW_BLOCKS="${MIXED_RW_BLOCKS:-1000}" \
+CRITERION_JSON_MERGE="$PWD/BENCH_ledger_scale.json" \
+  cargo bench -p blockprov-bench --bench mixed_rw
 echo "perf artifact: BENCH_ledger_scale.json"
 
 echo "verify.sh: all checks passed"

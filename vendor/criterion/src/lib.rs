@@ -362,6 +362,98 @@ fn render_json(medians: &[(String, u128)], metrics: &[(String, f64, String)]) ->
     out
 }
 
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Pull a `"key": "string"` field out of one artifact line, honoring the
+/// escapes [`json_escape`] emits.
+fn extract_json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(json_unescape(&rest[..end?]))
+}
+
+fn extract_json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse an artifact previously written by [`render_json`] back into its
+/// benchmark and metric lists (order preserved). Tolerant of anything
+/// else: unrecognized lines are skipped.
+fn parse_json_artifact(text: &str) -> (Vec<(String, u128)>, Vec<(String, f64, String)>) {
+    let mut benches = Vec::new();
+    let mut mets = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract_json_str(line, "name") else {
+            continue;
+        };
+        if let Some(ns) = extract_json_num(line, "median_ns") {
+            benches.push((name, ns as u128));
+        } else if let Some(value) = extract_json_num(line, "value") {
+            let unit = extract_json_str(line, "unit").unwrap_or_default();
+            mets.push((name, value, unit));
+        }
+    }
+    (benches, mets)
+}
+
+/// Merge `current` entries into `existing` by name: same name replaces in
+/// place (a re-run refreshes its numbers), new names append. Entries only
+/// present in `existing` survive — this is how one bench binary updates a
+/// shared artifact without clobbering another binary's results.
+fn merge_by_name<T: Clone>(
+    existing: Vec<(String, T)>,
+    current: &[(String, T)],
+) -> Vec<(String, T)> {
+    let mut out = existing;
+    for (name, val) in current {
+        match out.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = val.clone(),
+            None => out.push((name.clone(), val.clone())),
+        }
+    }
+    out
+}
+
 /// Where baselines live: `CRITERION_BASELINE_DIR`, else
 /// `<workspace root>/target/criterion-baselines` (found by walking up to
 /// the nearest `Cargo.lock`), else `target/criterion-baselines` under cwd.
@@ -463,6 +555,41 @@ pub fn finalize() {
                     recorded.len()
                 ),
                 Err(e) => eprintln!("failed to write CRITERION_JSON={path}: {e}"),
+            }
+        }
+    }
+    // `CRITERION_JSON_MERGE=<path>` folds this run into an existing
+    // artifact instead of replacing it: entries merge by name, so one
+    // bench binary (e.g. mixed_rw) can extend the tracked file another
+    // binary (e.g. ledger_scale) owns without clobbering its numbers.
+    if let Ok(path) = std::env::var("CRITERION_JSON_MERGE") {
+        if !path.is_empty() {
+            let recorded = metrics().lock().expect("metrics lock").clone();
+            let (old_benches, old_metrics) = match std::fs::read_to_string(&path) {
+                Ok(text) => parse_json_artifact(&text),
+                Err(_) => (Vec::new(), Vec::new()),
+            };
+            let benches = merge_by_name(old_benches, &medians);
+            let mets: Vec<(String, (f64, String))> = merge_by_name(
+                old_metrics
+                    .into_iter()
+                    .map(|(n, v, u)| (n, (v, u)))
+                    .collect(),
+                &recorded
+                    .iter()
+                    .map(|(n, v, u)| (n.clone(), (*v, u.clone())))
+                    .collect::<Vec<_>>(),
+            );
+            let mets: Vec<(String, f64, String)> =
+                mets.into_iter().map(|(n, (v, u))| (n, v, u)).collect();
+            let body = render_json(&benches, &mets);
+            match std::fs::write(&path, body) {
+                Ok(()) => println!(
+                    "json: merged into {path} ({} benchmarks, {} metrics total)",
+                    benches.len(),
+                    mets.len()
+                ),
+                Err(e) => eprintln!("failed to write CRITERION_JSON_MERGE={path}: {e}"),
             }
         }
     }
@@ -813,6 +940,32 @@ mod tests {
         let empty = render_json(&[], &[]);
         assert!(empty.contains("\"benchmarks\": [\n  ]"));
         assert!(empty.contains("\"metrics\": [\n  ]"));
+    }
+
+    #[test]
+    fn json_artifact_parses_back_and_merges_by_name() {
+        let medians = vec![
+            ("group/append".to_string(), 1_234u128),
+            ("group/\"quoted\"".to_string(), 99u128),
+        ];
+        let recorded = vec![
+            ("append/threads/4".to_string(), 51_234.5f64, "blk/s".to_string()),
+            ("cold_start/10k".to_string(), 12.5f64, "ms".to_string()),
+        ];
+        let body = render_json(&medians, &recorded);
+        let (benches, mets) = parse_json_artifact(&body);
+        assert_eq!(benches, medians, "benchmarks must round-trip");
+        assert_eq!(mets, recorded, "metrics must round-trip, escapes included");
+
+        // Merge: same name replaces, new name appends, others survive.
+        let update = vec![("group/append".to_string(), 2_000u128)];
+        let merged = merge_by_name(benches, &update);
+        assert_eq!(merged[0], ("group/append".to_string(), 2_000u128));
+        assert_eq!(merged.len(), 2);
+        let fresh = vec![("mixed_rw/new".to_string(), 7u128)];
+        let merged = merge_by_name(merged, &fresh);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[2].0, "mixed_rw/new");
     }
 
     #[test]
