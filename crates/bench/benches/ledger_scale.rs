@@ -435,6 +435,84 @@ fn report_ingest_scaling() {
     );
 }
 
+/// One-shot group-commit sweep: blocks/s of `append_batch` over the
+/// all-tiers backend at batch sizes 1, 16 and 256, single ingest thread.
+///
+/// Size 1 degenerates to one durable flush per block — the pre-group-commit
+/// write path. Larger batches coalesce the segment write, TxIndex spill,
+/// nonce-floor append and snapshot cadence into one flush per batch, so the
+/// curve isolates exactly what group commit buys at the commit stage
+/// (stage-1 fan-out is pinned to one thread; `ingest_scaling` covers that
+/// axis). `BATCH_COMMIT_BLOCKS` overrides the stream length (CI smoke runs
+/// use a short one).
+fn report_batch_commit() {
+    const TXS_PER_BLOCK: u64 = 4;
+    let blocks: u64 = std::env::var("BATCH_COMMIT_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let sealer = AccountId::from_name("sealer");
+    let mut parent = Chain::genesis_block().hash();
+    let stream: Vec<Block> = (0..blocks)
+        .map(|i| {
+            let txs: Vec<Transaction> = (0..TXS_PER_BLOCK)
+                .map(|j| {
+                    Transaction::new(
+                        AccountId::from_name("auditor"),
+                        i * TXS_PER_BLOCK + j,
+                        i + 1,
+                        7,
+                        vec![0xCD; 24],
+                    )
+                })
+                .collect();
+            let b = Block::assemble(i + 1, parent, i + 1, sealer, 0, txs);
+            parent = b.hash();
+            b
+        })
+        .collect();
+    let mut tips = Vec::new();
+    let mut size_one_rate = None;
+    for size in [1usize, 16, 256] {
+        let dir = tiered_dir(&format!("batch-commit-{size}"));
+        let config = ChainConfig {
+            ingest_threads: 1,
+            ..chain_config()
+        };
+        let mut chain = Chain::with_tiers(
+            meta_tier_store(&dir),
+            Some(meta_tier_index(&dir)),
+            meta_tier_meta(&dir),
+            config,
+        );
+        let t = Instant::now();
+        for batch in stream.chunks(size) {
+            chain.append_batch(batch.to_vec()).expect("batch append");
+        }
+        let dt = t.elapsed();
+        let rate = blocks as f64 / dt.as_secs_f64();
+        let speedup = match size_one_rate {
+            None => {
+                size_one_rate = Some(rate);
+                1.0
+            }
+            Some(base) => rate / base,
+        };
+        record_metric(&format!("batch_commit/{size}"), rate, "blk/s");
+        println!(
+            "ledger_scale batch commit [all tiers, batch {size}]: {blocks} blocks \
+             x {TXS_PER_BLOCK} txs in {dt:.2?} ({rate:.0} blocks/s, {speedup:.2}x vs batch 1)",
+        );
+        tips.push(chain.tip());
+        drop(chain);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        tips.windows(2).all(|w| w[0] == w[1]),
+        "group commit must produce an identical chain at every batch size"
+    );
+}
+
 /// One-shot compaction measurement: a fork-heavy history over tiny
 /// segments, scan wall clock before and after reclaiming the stale forks.
 fn report_compaction() {
@@ -583,6 +661,7 @@ fn bench_ledger_scale(c: &mut Criterion) {
 
     report_cold_start_sweep();
     report_ingest_scaling();
+    report_batch_commit();
     report_compaction();
 
     drop(tiered);

@@ -670,9 +670,14 @@ impl ProvenanceLedger {
     /// a peer) through the two-stage pipeline: stateless validation fans
     /// out across [`LedgerConfig::ingest_threads`] workers, the serialized
     /// commit section applies fork choice, finality and the provenance
-    /// layer per committed block. Blocks before the first invalid one
-    /// commit — provenance absorbed — and the error reports which block
-    /// failed and why.
+    /// layer per committed block. Durability is batch-granular: the chain
+    /// group-flushes every tier once per call, on the error path too, so
+    /// blocks this method reports as committed are on disk — which is also
+    /// what lets the loop below read the committed prefix's bodies back
+    /// for provenance absorption before surfacing the error. Blocks before
+    /// the first invalid one commit, and the error reports which block
+    /// failed and why (a `StoreIo` error with `index == committed.len()`
+    /// means the group flush itself failed; reopen and replay).
     pub fn ingest_blocks(&mut self, blocks: Vec<Block>) -> Result<Vec<AppendOutcome>, CoreError> {
         let (outcomes, err) = match self.chain.append_batch(blocks) {
             Ok(outcomes) => (outcomes, None),

@@ -110,6 +110,12 @@ pub enum ValidationError {
     Duplicate(BlockHash),
     /// The block forks at or below the finality checkpoint.
     BelowFinality { finalized: u64, got: u64 },
+    /// Durable storage failed while committing the block (full disk, I/O
+    /// error). Carries the I/O error's message: `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`, which this enum must be. Not a validation
+    /// verdict — the block may be perfectly valid; the chain could not
+    /// persist it, and the instance should be reopened (replay heals).
+    StoreIo(String),
 }
 
 impl fmt::Display for ValidationError {
@@ -142,6 +148,7 @@ impl fmt::Display for ValidationError {
             ValidationError::BelowFinality { finalized, got } => {
                 write!(f, "height {got} at or below finality checkpoint {finalized}")
             }
+            ValidationError::StoreIo(msg) => write!(f, "block store I/O failed: {msg}"),
         }
     }
 }
@@ -188,6 +195,9 @@ fn check_rank(e: &ValidationError) -> u8 {
         ValidationError::BadProofOfWork => 9,
         ValidationError::BadSignature(_) => 10,
         ValidationError::BadNonce { .. } => 11,
+        // Not a check at all: storage failed after every check passed, so
+        // it never competes with a stateless error for attribution.
+        ValidationError::StoreIo(_) => u8::MAX,
     }
 }
 
@@ -289,10 +299,17 @@ impl PrevalidatedBlock {
 
 /// Why (and where) a batched append stopped.
 ///
-/// Blocks before `index` committed and their outcomes are returned; the
-/// failing block and everything after it were not committed. Chain state is
-/// exactly what a sequential [`Chain::append`] loop stopping at the same
-/// block would leave behind.
+/// Blocks before `index` committed — durably, the group flush runs before
+/// this error is returned — and their outcomes are returned; the failing
+/// block and everything after it were not committed. Chain state is exactly
+/// what a sequential [`Chain::append`] loop stopping at the same block
+/// would leave behind.
+///
+/// One exception to "the block at `index` failed validation": when `error`
+/// is [`ValidationError::StoreIo`] and `index == committed.len()`, every
+/// submitted block validated but the group flush itself failed — the
+/// committed prefix's durability is unknown and the chain should be
+/// reopened.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchError {
     /// Position of the failing block within the submitted batch.
@@ -960,6 +977,16 @@ pub struct Chain {
     pool: Option<ValidationPool>,
     /// Snapshot slot + reader census shared with every [`ChainReader`].
     read_shared: Arc<ChainReadShared>,
+    /// Group-commit staging: durable-index entries gathered by finality
+    /// advances since the last [`Chain::flush_commits`], appended to the
+    /// [`TxIndex`] in one call per batch instead of one per advance.
+    staged_spill: Vec<IndexEntry>,
+    /// Group-commit staging for nonce floors: `author → (next nonce,
+    /// height)` with the same max-nonce-wins merge [`FloorStore::append`]
+    /// applies, so deferring the append is observationally identical.
+    /// Consulted by [`Chain::next_nonce_for`] because the resident nonce
+    /// entry is pruned the moment its author finalizes out of the suffix.
+    staged_floors: HashMap<AccountId, (u64, u64)>,
 }
 
 impl Chain {
@@ -1084,6 +1111,8 @@ impl Chain {
             appended: 0,
             pool: None,
             read_shared,
+            staged_spill: Vec::new(),
+            staged_floors: HashMap::new(),
         }
     }
 
@@ -1230,6 +1259,10 @@ impl Chain {
                     }
                 }
             }
+            // Group-flush per chunk: the bodies are already durable (they
+            // came from the store), but the tier staging buffers must not
+            // grow unbounded across a long replay.
+            self.flush_commits()?;
         }
         // An orphan *above* the final tip can only be the descendant of a
         // canonical block the store no longer holds — corruption, not
@@ -1362,6 +1395,8 @@ impl Chain {
             appended: 0,
             pool: None,
             read_shared,
+            staged_spill: Vec::new(),
+            staged_floors: HashMap::new(),
         };
         chain.heal_index(&snap)?;
         chain.heal_floors(&snap)?;
@@ -1658,6 +1693,15 @@ impl Chain {
     /// blocks stay authoritative and a replay rebuilds the floors.
     pub fn next_nonce_for(&self, author: &AccountId) -> u64 {
         let mutable = self.index.next_nonce.get(author).copied().unwrap_or(0);
+        // Floors raised by finality advances in the current batch sit in
+        // the chain's group-commit staging until `flush_commits`; the
+        // resident nonce entry is pruned at spill time, so mid-batch
+        // stateful validation must consult the staged floor too.
+        let staged = self
+            .staged_floors
+            .get(author)
+            .map(|&(nonce, _)| nonce)
+            .unwrap_or(0);
         let floor = match &self.meta_tier {
             Some(meta) => meta
                 .floors()
@@ -1669,7 +1713,7 @@ impl Chain {
                 .unwrap_or(0),
             None => 0,
         };
-        mutable.max(floor)
+        mutable.max(staged).max(floor)
     }
 
     /// Locate a canonical transaction: `(containing block hash, position)`.
@@ -1894,6 +1938,9 @@ impl Chain {
     /// the resulting watermarks. Shutdown hygiene — a restart after this
     /// heals nothing and fast-starts immediately.
     pub fn sync_meta(&mut self) -> std::io::Result<()> {
+        // Land any group-commit staging first: sync watermarks recorded
+        // below must cover it.
+        self.flush_commits()?;
         self.sync_index()?;
         self.sync_floors()?;
         if let Some(meta) = &mut self.meta_tier {
@@ -1954,6 +2001,8 @@ impl Chain {
     /// partition at or past [`crate::index::TxIndexConfig::merge_threshold`]
     /// pages is LSM-merged into one sorted run.
     pub fn compact(&mut self) -> std::io::Result<CompactionStats> {
+        // Public maintenance boundary: nothing may stay staged across it.
+        self.flush_commits()?;
         let stats = match self.checkpoint() {
             Some(cp) => self.store.compact(&cp)?,
             None => CompactionStats::default(),
@@ -1977,6 +2026,7 @@ impl Chain {
         if self.tx_index.is_none() {
             return Ok(MergeStats::default());
         }
+        self.flush_commits()?;
         self.sync_index()?;
         let stats = self
             .tx_index
@@ -2101,8 +2151,14 @@ impl Chain {
     }
 
     /// Validate and insert a block, updating fork choice and finality.
+    ///
+    /// A single append is a batch of one: the commit stages its durable
+    /// work and the group flush lands it before the snapshot publishes, so
+    /// the durability contract ("returned means durable") is unchanged.
     pub fn append(&mut self, block: Block) -> Result<AppendOutcome, ValidationError> {
         let outcome = self.commit_prevalidated(PrevalidatedBlock::compute(block, &self.config))?;
+        self.flush_commits()
+            .map_err(|e| ValidationError::StoreIo(e.to_string()))?;
         self.publish_read_state();
         Ok(outcome)
     }
@@ -2125,8 +2181,23 @@ impl Chain {
             match self.commit_prevalidated(pre) {
                 Ok(outcome) => committed.push(outcome),
                 Err(error) => {
-                    // The prefix before `index` committed — publish it.
-                    self.publish_read_state();
+                    // The prefix before `index` committed — group-flush it
+                    // so everything this error reports as committed is
+                    // durable before the caller sees the error, then
+                    // publish. If the flush itself fails, that failure
+                    // outranks the validation error (the prefix's
+                    // durability is unknown) and publication is skipped —
+                    // readers keep the last flushed snapshot.
+                    match self.flush_commits() {
+                        Ok(()) => self.publish_read_state(),
+                        Err(e) => {
+                            return Err(BatchError {
+                                index,
+                                error: ValidationError::StoreIo(e.to_string()),
+                                committed,
+                            })
+                        }
+                    }
                     return Err(BatchError {
                         index,
                         error,
@@ -2134,6 +2205,17 @@ impl Chain {
                     });
                 }
             }
+        }
+        // Stage-3 group flush: one durable write per tier for the whole
+        // batch. `index == committed.len()` marks a flush failure after
+        // every block validated (no single block is at fault).
+        if let Err(e) = self.flush_commits() {
+            let index = committed.len();
+            return Err(BatchError {
+                index,
+                error: ValidationError::StoreIo(e.to_string()),
+                committed,
+            });
         }
         // One snapshot per batch: readers observe batch-granular epochs,
         // and the per-block suffix clone is amortized across the batch.
@@ -2179,7 +2261,15 @@ impl Chain {
             timestamp_ms: block.header.timestamp_ms,
         };
         let extends_tip = block.header.prev == self.tip;
-        let arc = self.store.put(block).expect("store put");
+        // Stage the body for the group flush: the frame is buffered (and
+        // served from the store's pending set) until `flush_commits` lands
+        // the whole batch with one write. A failure here — full disk, I/O
+        // error — propagates instead of aborting the process; nothing of
+        // this block entered the chain state yet.
+        let arc = self
+            .store
+            .put_staged(block)
+            .map_err(|e| ValidationError::StoreIo(e.to_string()))?;
         self.meta.insert(hash, meta);
         self.at_height.entry(meta.height).or_default().push(hash);
 
@@ -2314,24 +2404,20 @@ impl Chain {
                 }
             }
         }
-        if !spill.is_empty() {
-            self.tx_index
-                .as_mut()
-                .expect("spill gathered only with an index")
-                .append(spill)
-                .expect("tx index append");
-        }
-        if has_meta_tier {
-            let meta = self.meta_tier.as_mut().expect("has_meta_tier");
-            if !floors.is_empty() {
-                meta.floors_mut().append(floors).expect("floor append");
+        // Group-commit staging: spill entries and raised floors accumulate
+        // here and reach the durable tiers in one append per tier when
+        // `flush_commits` runs at the batch boundary — durable I/O is
+        // O(tiers) per batch, not O(advances). Height-map pushes above
+        // already buffer page cuts in memory; their flush moves to the
+        // batch boundary too.
+        self.staged_spill.extend(spill);
+        for e in floors {
+            // Mirror `FloorStore::append`'s merge exactly (max nonce wins,
+            // height rides the max) so deferring changes nothing.
+            let slot = self.staged_floors.entry(e.author).or_insert((0, 0));
+            if e.nonce >= slot.0 {
+                *slot = (e.nonce, e.height.max(slot.1));
             }
-            // One flush for the whole advance: `HeightMap::push` buffers
-            // page cuts, so a batch of finalized heights costs one write
-            // barrier instead of one per page.
-            meta.height_map_mut()
-                .flush_pages()
-                .expect("height map flush");
         }
         if has_meta_tier {
             // The durable tier now serves finalized heights: prune the
@@ -2369,25 +2455,75 @@ impl Chain {
             orphan_frontier = next;
             h += 1;
         }
-        if has_meta_tier {
-            // Bound crash recovery: periodically force the tx index's
-            // staged tail into durable pages so the snapshot's
-            // `index_durable_height` keeps up with the checkpoint.
-            let config = *self.meta_tier.as_ref().expect("has_meta_tier").config();
+        // Interval-driven durability (index sync, floor sync, snapshot
+        // write) happens in `flush_commits`: mid-batch the staged tails
+        // are incomplete, so forcing them durable here would record
+        // watermarks ahead of the block flush.
+    }
+
+    /// Stage-3 group flush: land everything the batch's commits staged,
+    /// with one durable append per tier.
+    ///
+    /// Order is load-bearing. Block bodies flush first — every other tier
+    /// is derived from blocks, so after a crash the replay path can heal a
+    /// tier that lags its blocks, but a tier that leads its blocks would
+    /// reference frames that do not exist. Then the durable tx-index and
+    /// floor appends, the height-map page flush, and finally the
+    /// interval-driven syncs/snapshot (which record watermarks, so they
+    /// must observe the staged appends). Publication to readers stays with
+    /// the callers: tiers first, snapshot second, at the batch boundary.
+    ///
+    /// On error the chain's in-memory state is ahead of disk and the
+    /// instance should be dropped and reopened — replay re-derives the
+    /// missing tail from whatever block prefix landed.
+    fn flush_commits(&mut self) -> std::io::Result<()> {
+        self.store.flush_staged()?;
+        if !self.staged_spill.is_empty() {
+            let spill = std::mem::take(&mut self.staged_spill);
+            self.tx_index
+                .as_mut()
+                .expect("spill staged only with an index")
+                .append(spill)?;
+        }
+        if !self.staged_floors.is_empty() {
+            let floors: Vec<FloorEntry> = self
+                .staged_floors
+                .drain()
+                .map(|(author, (nonce, height))| FloorEntry {
+                    author,
+                    nonce,
+                    height,
+                })
+                .collect();
+            self.meta_tier
+                .as_mut()
+                .expect("floors staged only with a meta tier")
+                .floors_mut()
+                .append(floors)?;
+        }
+        if let Some(meta) = &mut self.meta_tier {
+            meta.height_map_mut().flush_pages()?;
+        }
+        if self.meta_tier.is_some() {
+            // Bound crash recovery: periodically force the staged tier
+            // tails into durable pages so the snapshot's durable heights
+            // keep up with the checkpoint. Same cadence as before group
+            // commit, evaluated once per batch instead of per advance.
+            let config = *self.meta_tier.as_ref().expect("checked above").config();
+            let fin = self.finalized_height;
             if self.tx_index.is_some()
-                && new_fin.saturating_sub(self.index_synced_height) >= config.index_sync_interval
+                && fin.saturating_sub(self.index_synced_height) >= config.index_sync_interval
             {
-                self.sync_index().expect("tx index sync");
+                self.sync_index()?;
             }
-            if new_fin.saturating_sub(self.floor_synced_height) >= config.index_sync_interval {
-                self.sync_floors().expect("floor sync");
+            if fin.saturating_sub(self.floor_synced_height) >= config.index_sync_interval {
+                self.sync_floors()?;
             }
-            if new_fin.saturating_sub(self.last_snapshot_height)
-                >= config.snapshot_interval.max(1)
-            {
-                self.write_snapshot().expect("snapshot write");
+            if fin.saturating_sub(self.last_snapshot_height) >= config.snapshot_interval.max(1) {
+                self.write_snapshot()?;
             }
         }
+        Ok(())
     }
 
     /// Walk the canonical chain and re-verify every link: header hashes,

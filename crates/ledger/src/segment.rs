@@ -50,7 +50,7 @@ use blockprov_wire::frame::{
     frame_len, read_frame_from, write_frame_to, SegmentHeader, FRAME_OVERHEAD,
 };
 use blockprov_wire::manifest::{Manifest, SparsePoint};
-use blockprov_wire::Codec;
+use blockprov_wire::{Codec, FrameBatch};
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -380,6 +380,18 @@ pub struct SegmentStore {
     /// across every compaction pass since open.
     total_dropped: u64,
     total_reclaimed: u64,
+    /// Frames staged by `put_staged` but not yet written to the active
+    /// segment file, emitted with one vectored write by `flush_staged`.
+    /// Their locations are assigned at stage time (segment accounting
+    /// already covers them) but only published to the shared index after
+    /// the emit, so readers never see a location without its bytes.
+    pending: FrameBatch,
+    /// `(hash, location)` for each pending frame, in stage order.
+    pending_locs: Vec<(BlockHash, BlockLocation)>,
+    /// Decoded copies of the pending blocks, pinned so the writer's own
+    /// `get` (reorgs touching same-batch forks) resolves them before the
+    /// frames are readable from disk.
+    pending_arcs: HashMap<BlockHash, Arc<Block>>,
 }
 
 impl std::fmt::Debug for SegmentStore {
@@ -535,6 +547,9 @@ impl SegmentStore {
             committed_len: active_entry.len,
             total_dropped: 0,
             total_reclaimed: 0,
+            pending: FrameBatch::new(),
+            pending_locs: Vec::new(),
+            pending_arcs: HashMap::new(),
         })
     }
 
@@ -629,6 +644,9 @@ impl SegmentStore {
             committed_len: 0,
             total_dropped: 0,
             total_reclaimed: 0,
+            pending: FrameBatch::new(),
+            pending_locs: Vec::new(),
+            pending_arcs: HashMap::new(),
         };
         store.commit_epoch()?;
         Ok(store)
@@ -660,6 +678,9 @@ impl SegmentStore {
             committed_len: header_len,
             total_dropped: 0,
             total_reclaimed: 0,
+            pending: FrameBatch::new(),
+            pending_locs: Vec::new(),
+            pending_arcs: HashMap::new(),
         })
     }
 
@@ -830,8 +851,58 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// Stage one encoded block for the next `flush_staged`; returns the
+    /// location its frame will occupy. Segment accounting (`len`, height
+    /// fence, byte totals) advances immediately so rollover decisions and
+    /// later stage offsets stay exact; only the file write is deferred.
+    fn stage_frame(&mut self, body: Vec<u8>, height: u64) -> io::Result<BlockLocation> {
+        let need = frame_len(body.len());
+        let must_roll = {
+            let active = self.infos.last().expect("active segment");
+            active.len + need > self.config.segment_bytes && active.blocks > 0
+        };
+        if must_roll {
+            // Staged frames belong to the segment they were measured
+            // against: emit them before rolling so their recorded
+            // locations land in the right file.
+            self.emit_pending()?;
+            self.roll_segment()?;
+        }
+        let active = self.infos.last_mut().expect("active segment");
+        let loc = BlockLocation {
+            segment: active.id,
+            offset: active.len + FRAME_OVERHEAD,
+            len: body.len() as u32,
+        };
+        self.pending.push(body)?;
+        active.note(height, need);
+        self.bytes += need;
+        Ok(loc)
+    }
+
+    /// Write every staged frame into the active segment with one vectored
+    /// write, then publish their index entries. The buffered writer drains
+    /// first so a fresh segment's header bytes precede the batch on disk.
+    fn emit_pending(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.writer.flush()?;
+        self.pending.write_to(self.writer.get_mut())?;
+        // Index only after the write: a concurrent reader that finds a
+        // location must find the frame's bytes on disk too.
+        for (hash, loc) in self.pending_locs.drain(..) {
+            self.shared.index_insert(hash, loc);
+        }
+        self.pending_arcs.clear();
+        Ok(())
+    }
+
     /// Append one encoded block without flushing; returns its location.
+    /// Any staged frames are emitted first: they were measured against the
+    /// active segment before this block, so their bytes must precede it.
     fn append_frame(&mut self, body: &[u8], height: u64) -> io::Result<BlockLocation> {
+        self.emit_pending()?;
         let need = frame_len(body.len());
         let must_roll = {
             let active = self.infos.last().expect("active segment");
@@ -946,6 +1017,9 @@ impl SegmentStore {
     /// nothing commits nothing — compaction is idempotent and only bumps
     /// the epoch when the file set actually changes.
     pub fn compact(&mut self, cp: &Checkpoint) -> io::Result<CompactionStats> {
+        // Staged frames must be on disk before the keep/drop walk: the
+        // survivor copy reads frames from segment files, not memory.
+        self.emit_pending()?;
         self.writer.flush()?;
         // The keep/drop walk and the index repoint need every block
         // addressable, so finish any lazy indexing up front — loudly.
@@ -1163,6 +1237,11 @@ impl BlockStore for SegmentStore {
         if self.shared.index_get(&hash).is_some() {
             return Ok(Arc::new(block));
         }
+        if let Some(arc) = self.pending_arcs.get(&hash) {
+            let arc = Arc::clone(arc);
+            self.flush_staged()?;
+            return Ok(arc);
+        }
         let body = block.to_wire();
         let loc = self.append_frame(&body, block.header.height)?;
         self.writer.flush()?;
@@ -1181,6 +1260,9 @@ impl BlockStore for SegmentStore {
         // dedupes duplicates *within* the batch.
         let mut staged: Vec<(BlockHash, BlockLocation)> = Vec::new();
         let mut staged_hashes: HashSet<BlockHash> = HashSet::new();
+        // Frames staged by `put_staged` precede this batch on disk; emit
+        // them so the index covers them for the dedupe below.
+        self.emit_pending()?;
         for block in blocks {
             let hash = block.hash();
             if self.shared.index_get(&hash).is_none() && staged_hashes.insert(hash) {
@@ -1200,12 +1282,42 @@ impl BlockStore for SegmentStore {
         Ok(out)
     }
 
+    fn put_staged(&mut self, block: Block) -> io::Result<Arc<Block>> {
+        let hash = block.hash();
+        // Same dedupe stance as `put` (in-memory index only), extended to
+        // the pending set so a duplicate within one batch stages one frame.
+        if self.shared.index_get(&hash).is_some() {
+            return Ok(Arc::new(block));
+        }
+        if let Some(arc) = self.pending_arcs.get(&hash) {
+            return Ok(Arc::clone(arc));
+        }
+        let body = block.to_wire();
+        let loc = self.stage_frame(body, block.header.height)?;
+        let arc = Arc::new(block);
+        self.pending_locs.push((hash, loc));
+        self.pending_arcs.insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn flush_staged(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.emit_pending()?;
+        self.maybe_commit_growth()?;
+        Ok(())
+    }
+
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        if let Some(arc) = self.pending_arcs.get(hash) {
+            return Some(Arc::clone(arc));
+        }
         self.shared.get_block(hash)
     }
 
     fn contains(&self, hash: &BlockHash) -> bool {
-        self.shared.lookup(hash).is_some()
+        self.pending_arcs.contains_key(hash) || self.shared.lookup(hash).is_some()
     }
 
     fn len(&self) -> usize {
@@ -1221,7 +1333,7 @@ impl BlockStore for SegmentStore {
             .iter()
             .map(|&(_, n)| n)
             .sum();
-        self.shared.index_len() + pending as usize
+        self.shared.index_len() + pending as usize + self.pending_locs.len()
     }
 
     fn reader(&self) -> Option<Arc<dyn BlockReader>> {
@@ -1452,8 +1564,27 @@ impl BlockStore for TieredStore {
         Ok(arcs)
     }
 
+    fn put_staged(&mut self, block: Block) -> io::Result<Arc<Block>> {
+        let hash = block.hash();
+        let arc = self.cold.put_staged(block)?;
+        // Hot insertion before the flush is safe: readers only look up
+        // hashes a published chain snapshot names, and publication happens
+        // after the group flush.
+        self.hot.cache.insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn flush_staged(&mut self) -> io::Result<()> {
+        self.cold.flush_staged()
+    }
+
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
-        self.hot.get(&self.cold.shared, hash)
+        // The shared path first (hot set, then indexed cold frames), then
+        // the cold writer's pending set: a staged block evicted from the
+        // hot cache mid-batch has no disk frame to read yet.
+        self.hot
+            .get(&self.cold.shared, hash)
+            .or_else(|| self.cold.pending_arcs.get(hash).map(Arc::clone))
     }
 
     fn contains(&self, hash: &BlockHash) -> bool {
@@ -1473,8 +1604,9 @@ impl BlockStore for TieredStore {
     }
 
     fn demote(&mut self, hash: &BlockHash) {
-        // Safe to drop from the hot set: the block became durable in the
-        // cold tier before `put` returned.
+        // Safe to drop from the hot set: the cold tier holds the block —
+        // durably after `put`, or pinned in its pending set after
+        // `put_staged` until the group flush lands it on disk.
         self.hot.cache.remove(hash);
     }
 
@@ -1730,6 +1862,98 @@ mod tests {
         }
         std::fs::remove_dir_all(&dir_a).unwrap();
         std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn put_staged_matches_individual_puts_and_survives_reopen() {
+        let dir_a = temp_dir("staged-a");
+        let dir_b = temp_dir("staged-b");
+        // Small segments so the staged stream rolls mid-batch.
+        let blocks = chain_blocks(20);
+        let mut a = SegmentStore::open(&dir_a, SegmentConfig { segment_bytes: 600 }).unwrap();
+        let mut b = SegmentStore::open(&dir_b, SegmentConfig { segment_bytes: 600 }).unwrap();
+        for blk in &blocks {
+            a.put(blk.clone()).unwrap();
+        }
+        for blk in &blocks {
+            b.put_staged(blk.clone()).unwrap();
+            // Visible to the writer before the flush.
+            assert_eq!(b.get(&blk.hash()).as_deref(), Some(blk));
+            assert!(b.contains(&blk.hash()));
+        }
+        assert_eq!(b.len(), 20, "staged blocks count");
+        b.flush_staged().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.stored_bytes(), b.stored_bytes());
+        assert_eq!(a.segment_count(), b.segment_count());
+        for blk in &blocks {
+            assert_eq!(b.get(&blk.hash()).as_deref(), Some(blk));
+        }
+        drop(b);
+        // Reopen: the flushed frames scan back identically to per-put.
+        let reopened = SegmentStore::open(&dir_b, SegmentConfig { segment_bytes: 600 }).unwrap();
+        let mut seen = Vec::new();
+        reopened.scan(&mut |blk| seen.push(blk.hash())).unwrap();
+        let expect: Vec<BlockHash> = blocks.iter().map(Block::hash).collect();
+        assert_eq!(seen, expect);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn put_staged_dedupes_and_interleaves_with_put() {
+        let dir = temp_dir("staged-mix");
+        let mut s = SegmentStore::open(&dir, SegmentConfig::default()).unwrap();
+        let blocks = chain_blocks(3);
+        s.put_staged(blocks[0].clone()).unwrap();
+        // Duplicate stage: one frame only.
+        s.put_staged(blocks[0].clone()).unwrap();
+        // A plain `put` while frames are pending keeps disk order: the
+        // staged frame is emitted first, then the new one, and a `put` of
+        // an already-staged block flushes rather than re-appending.
+        s.put(blocks[1].clone()).unwrap();
+        s.put(blocks[0].clone()).unwrap();
+        s.put_staged(blocks[2].clone()).unwrap();
+        s.flush_staged().unwrap();
+        s.flush_staged().unwrap(); // idempotent when nothing is staged
+        assert_eq!(s.len(), 3);
+        let mut seen = Vec::new();
+        s.scan(&mut |b| seen.push(b.hash())).unwrap();
+        assert_eq!(
+            seen,
+            vec![blocks[0].hash(), blocks[1].hash(), blocks[2].hash()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_put_staged_keeps_hot_set_bounded_and_readable() {
+        let dir = temp_dir("tiered-staged");
+        let blocks = chain_blocks(32);
+        let mut s = TieredStore::open(
+            &dir,
+            TieredConfig {
+                segment: SegmentConfig { segment_bytes: 2048 },
+                hot_capacity: 8,
+            },
+        )
+        .unwrap();
+        for b in &blocks {
+            s.put_staged(b.clone()).unwrap();
+            assert!(s.resident_blocks() <= 8, "hot set must stay bounded");
+        }
+        // Mid-batch, every block resolves — hot, or pinned in the cold
+        // tier's pending set even after demotion.
+        s.demote(&blocks[30].hash());
+        for b in &blocks {
+            assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+        }
+        s.flush_staged().unwrap();
+        assert_eq!(s.len(), 32);
+        for b in &blocks {
+            assert_eq!(*s.get(&b.hash()).unwrap(), *b);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

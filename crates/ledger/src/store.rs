@@ -59,6 +59,21 @@ pub trait BlockStore: Send {
         blocks.into_iter().map(|b| self.put(b)).collect()
     }
 
+    /// Stage a block for a group commit: the block becomes visible to this
+    /// store's own `get`/`contains` immediately but need not be durable
+    /// until [`BlockStore::flush_staged`] returns. Durable implementations
+    /// override this to defer the per-block flush; the default is plain
+    /// `put` (immediately durable), which keeps `flush_staged` a no-op.
+    fn put_staged(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
+        self.put(block)
+    }
+
+    /// Make every block staged since the last flush durable, with one write
+    /// barrier for the whole group. Idempotent when nothing is staged.
+    fn flush_staged(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
     /// Fetch a block by hash.
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>>;
     /// Whether a block exists.
@@ -280,6 +295,11 @@ pub struct FileStore {
     cache: RefCell<LruCache<BlockHash, Arc<Block>>>,
     reader: RefCell<File>,
     end: u64,
+    /// Blocks appended by `put_staged` whose frames may still sit in the
+    /// append handle's buffer. Pinned so `get` never issues a disk read for
+    /// an unflushed offset (the LRU cache alone could evict them); cleared
+    /// by `flush_staged` once the frames are readable.
+    staged: HashMap<BlockHash, Arc<Block>>,
 }
 
 impl FileStore {
@@ -311,6 +331,7 @@ impl FileStore {
             cache: RefCell::new(LruCache::new(FILE_STORE_CACHE)),
             reader: RefCell::new(File::open(path)?),
             end: pos,
+            staged: HashMap::new(),
         })
     }
 
@@ -366,7 +387,35 @@ impl BlockStore for FileStore {
         Ok(out)
     }
 
+    fn put_staged(&mut self, block: Block) -> std::io::Result<Arc<Block>> {
+        let hash = block.hash();
+        if let Some(arc) = self.staged.get(&hash) {
+            return Ok(Arc::clone(arc));
+        }
+        // Everything else in `offsets` is flushed, so `get` is safe here.
+        if self.offsets.contains_key(&hash) {
+            if let Some(existing) = self.get(&hash) {
+                return Ok(existing);
+            }
+        }
+        let arc = self.append_frame(block)?;
+        self.staged.insert(hash, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn flush_staged(&mut self) -> std::io::Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        self.file.flush()?;
+        self.staged.clear();
+        Ok(())
+    }
+
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
+        if let Some(arc) = self.staged.get(hash) {
+            return Some(Arc::clone(arc));
+        }
         if let Some(hit) = self.cache.borrow_mut().get(hash) {
             return Some(Arc::clone(hit));
         }

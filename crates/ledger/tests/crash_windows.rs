@@ -414,6 +414,149 @@ fn corrupt_snapshot_falls_back_to_full_replay() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Assemble a valid linear stream against a scratch in-memory chain, so it
+/// can be fed to a tiered chain through `append_batch`.
+fn linear_stream(config: &ChainConfig, range: std::ops::Range<u64>, base_ts: u64) -> Vec<Block> {
+    let mut scratch = Chain::new(config.clone());
+    let mut stream = Vec::new();
+    for i in 0..range.end {
+        let ts = scratch.tip_header().timestamp_ms.max(base_ts) + 10;
+        let block = scratch.assemble_next(ts, AccountId::from_name("sealer"), 0, vec![tx("alice", i)]);
+        scratch.append(block.clone()).unwrap();
+        if i >= range.start {
+            stream.push(block);
+        }
+    }
+    stream
+}
+
+#[test]
+fn group_flush_window_blocks_ahead_of_tiers_heals_on_reopen() {
+    // The group-commit flush order is: block segments first, then the
+    // TxIndex spill, nonce floors, height map and snapshot. A crash in
+    // that window leaves the block store one batch AHEAD of every derived
+    // tier. Reconstruct exactly that state by pairing a newer `blocks`
+    // directory with the previous batch's tier directories.
+    let config = ChainConfig {
+        finality_depth: Some(3),
+        ..ChainConfig::default()
+    };
+    let stream = linear_stream(&config, 0..32, 0);
+    let dir = temp_dir("group-flush-window");
+
+    // Consistent state after three full batches (24 blocks).
+    {
+        let mut chain = Chain::with_tiers(
+            tiered(&dir.join("blocks")),
+            Some(small_index(&dir.join("txindex"))),
+            small_meta(&dir.join("meta")),
+            config.clone(),
+        );
+        for batch in stream[..24].chunks(8) {
+            chain.append_batch(batch.to_vec()).unwrap();
+        }
+        chain.sync_meta().unwrap();
+    }
+    let crash = temp_dir("group-flush-window-crash");
+    copy_dir(&dir, &crash);
+
+    // One more group-committed batch, fully synced.
+    let (tip, height, nonce) = {
+        let mut chain = reopen(&dir).unwrap();
+        chain.append_batch(stream[24..].to_vec()).unwrap();
+        chain.sync_meta().unwrap();
+        (
+            chain.tip(),
+            chain.height(),
+            chain.next_nonce_for(&AccountId::from_name("alice")),
+        )
+    };
+
+    // Transplant only the newer block segments: blocks durable through
+    // batch four, index/floor/meta still at batch three.
+    std::fs::remove_dir_all(crash.join("blocks")).unwrap();
+    copy_dir(&dir.join("blocks"), &crash.join("blocks"));
+
+    // Replay must heal exactly the missing tail from the blocks.
+    let chain = reopen(&crash).unwrap();
+    assert_eq!(chain.tip(), tip);
+    assert_eq!(chain.height(), height);
+    assert_eq!(chain.next_nonce_for(&AccountId::from_name("alice")), nonce);
+    for h in 0..=height {
+        assert!(chain.hash_at(h).is_some(), "height {h} resolves after heal");
+    }
+    chain.verify_integrity().unwrap();
+    assert!(chain.index_consistent(), "healed tiers serve every query");
+    for d in [&dir, &crash] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn mid_batch_error_flushes_committed_prefix_before_returning() {
+    // `append_batch` hit an invalid block mid-batch: the committed prefix
+    // must be group-flushed BEFORE the error returns, so a hard crash right
+    // after the error loses nothing the caller was told had committed.
+    let config = ChainConfig {
+        finality_depth: Some(3),
+        ..ChainConfig::default()
+    };
+    let stream = linear_stream(&config, 0..10, 0);
+    let dir = temp_dir("mid-batch-error");
+
+    let mut batch = stream.clone();
+    // Replace index 6 with an equal-parent sibling whose height skips ahead:
+    // rejected as BadHeight (not an allowlisted skip), stopping the batch
+    // with blocks 0..=5 staged and 7..9 never reached.
+    let parent = &stream[5];
+    batch[6] = Block::assemble(
+        parent.header.height + 3,
+        parent.hash(),
+        parent.header.timestamp_ms + 10,
+        AccountId::from_name("sealer"),
+        0,
+        vec![tx("alice", 6)],
+    );
+
+    let (prefix_tip, prefix_height) = {
+        let mut chain = Chain::with_tiers(
+            tiered(&dir.join("blocks")),
+            Some(small_index(&dir.join("txindex"))),
+            small_meta(&dir.join("meta")),
+            config.clone(),
+        );
+        let err = chain.append_batch(batch).unwrap_err();
+        assert_eq!(err.index, 6, "batch stops at the invalid block");
+        assert_eq!(err.committed.len(), 6, "prefix/outcome mismatch");
+        assert!(
+            matches!(err.error, blockprov_ledger::chain::ValidationError::BadHeight { .. }),
+            "unexpected error: {}",
+            err.error
+        );
+        let out = (chain.tip(), chain.height());
+        // Hard crash immediately after the error: Drop never runs. The
+        // prefix flush already happened inside `append_batch`.
+        std::mem::forget(chain);
+        out
+    };
+    assert_eq!(prefix_tip, stream[5].hash());
+
+    // Reopen: state is exactly the committed prefix — nothing staged after
+    // block 5 survives, nothing before it is missing.
+    let mut chain = reopen(&dir).unwrap();
+    assert_eq!(chain.tip(), prefix_tip);
+    assert_eq!(chain.height(), prefix_height);
+    assert_eq!(chain.next_nonce_for(&AccountId::from_name("alice")), 6);
+    chain.verify_integrity().unwrap();
+    assert!(chain.index_consistent());
+
+    // The corrected suffix lands cleanly on the healed prefix.
+    chain.append_batch(stream[6..].to_vec()).unwrap();
+    assert_eq!(chain.tip(), stream[9].hash());
+    chain.verify_integrity().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn snapshot_contradicting_the_store_fails_loudly() {
     let dir = temp_dir("mismatch");

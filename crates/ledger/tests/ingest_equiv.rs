@@ -228,6 +228,141 @@ proptest! {
 // checkpoint spills and LRU evictions interleave with mid-batch reorgs.
 // ---------------------------------------------------------------------------
 
+/// Deterministic mostly-linear stream with a sibling fork every 13 blocks —
+/// long enough that a 256-block batch arrives *full*, which the random
+/// 1..40-op cases above never produce. Payloads carry the block ordinal so
+/// every tx id is unique and the main line is accepted without skips.
+fn build_long_stream(config: ChainConfig, len: usize) -> (Chain, Vec<Block>) {
+    let mut chain = Chain::new(config);
+    let mut stream: Vec<Block> = Vec::with_capacity(len + len / 13 + 1);
+    let authors = ["alice", "bob", "carol"];
+    let mut i = 0usize;
+    while stream.len() < len {
+        let tip = chain.tip();
+        let parent = chain.block(&tip).expect("tip resident");
+        let author = AccountId::from_name(authors[i % 3]);
+        let txs: Vec<Transaction> = (0..i % 3)
+            .map(|j| {
+                Transaction::new(
+                    author,
+                    j as u64,
+                    2_000,
+                    (i % 2) as u16,
+                    vec![i as u8, (i >> 8) as u8, j as u8],
+                )
+            })
+            .collect();
+        let block = Block::assemble(
+            parent.header.height + 1,
+            tip,
+            parent.header.timestamp_ms + 10 + i as u64,
+            AccountId::from_name("sealer"),
+            0,
+            txs,
+        );
+        stream.push(block.clone());
+        chain.append(block).expect("linear extend");
+        if i % 13 == 5 {
+            // Equal-work sibling of the block just appended: never wins the
+            // fork choice, but lands fork bookkeeping (and, near the
+            // checkpoint, allowlisted BelowFinality skips) inside otherwise
+            // full batches.
+            let fork = Block::assemble(
+                parent.header.height + 1,
+                tip,
+                parent.header.timestamp_ms + 500 + i as u64,
+                AccountId::from_name("forker"),
+                0,
+                vec![],
+            );
+            stream.push(fork.clone());
+            match chain.append(fork) {
+                Ok(_) => {}
+                Err(e) => assert!(allowlisted(&e), "unexpected fork error: {e}"),
+            }
+        }
+        i += 1;
+    }
+    (chain, stream)
+}
+
+/// Group-commit pin at fixed batch sizes: a 600-block deterministic stream
+/// over the full durable tier stack must leave state byte-identical to the
+/// sequential reference at batch sizes 1, 7 and 256 — size 1 degenerates to
+/// one group flush per block, 256 coalesces multiple finality advances,
+/// segment rolls and index spills into a single flush.
+#[test]
+fn batched_ingest_equals_sequential_at_fixed_batch_sizes() {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let base = ChainConfig {
+        finality_depth: Some(8),
+        ..ChainConfig::default()
+    };
+    let (seq, stream) = build_long_stream(
+        ChainConfig {
+            ingest_threads: 1,
+            ..base.clone()
+        },
+        600,
+    );
+    assert!(stream.len() >= 600, "stream too short for a full 256 batch");
+    for &size in &[1usize, 7, 256] {
+        for threads in thread_axis() {
+            let dir = std::env::temp_dir().join(format!(
+                "blockprov-ingest-fixed-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let result = (|| -> Result<(), TestCaseError> {
+                let store = TieredStore::open(
+                    dir.join("blocks"),
+                    TieredConfig {
+                        segment: SegmentConfig { segment_bytes: 2048 },
+                        hot_capacity: 4,
+                    },
+                )
+                .expect("open tiered store");
+                let index = TxIndex::open(
+                    dir.join("txindex"),
+                    TxIndexConfig {
+                        partitions: 2,
+                        page_entries: 4,
+                        cached_pages: 4,
+                        merge_threshold: 4,
+                    },
+                )
+                .expect("open tx index");
+                let meta = MetaStore::open(
+                    dir.join("meta"),
+                    MetaConfig {
+                        page_heights: 4,
+                        cached_pages: 2,
+                        index_sync_interval: 8,
+                        snapshot_interval: 1,
+                        floor: FloorConfig::default(),
+                    },
+                )
+                .expect("open meta store");
+                let config = ChainConfig {
+                    ingest_threads: threads,
+                    ..base.clone()
+                };
+                let mut batched =
+                    Chain::replay_with_tiers(Box::new(store), Some(index), meta, config)
+                        .expect("open tiers");
+                replay_batched(&mut batched, &stream, &[size])?;
+                assert_same_state(&seq, &batched)?;
+                Ok(())
+            })();
+            let _ = std::fs::remove_dir_all(&dir);
+            if let Err(e) = result {
+                panic!("size {size} threads {threads}: {e}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

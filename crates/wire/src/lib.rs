@@ -24,7 +24,7 @@ mod reader;
 mod writer;
 
 pub use reader::Reader;
-pub use writer::Writer;
+pub use writer::{FrameBatch, Writer};
 
 use std::fmt;
 

@@ -71,13 +71,15 @@ echo "== bench smoke: cargo bench -p blockprov-bench --bench ledger_scale -- loo
 # The filter trims the timing loops to the lookup groups; the one-shot
 # append/cold-start/ingest-scaling/compaction measurements always run,
 # which is the point — they exercise the 100k-block tiered, spilled-index,
-# metadata-tier (snapshot fast-start vs full replay), batched-ingest and
-# compaction paths. INGEST_SCALE_BLOCKS trims the per-thread-count scaling
+# metadata-tier (snapshot fast-start vs full replay), batched-ingest,
+# group-commit batch-size sweep and compaction paths. INGEST_SCALE_BLOCKS
+# and BATCH_COMMIT_BLOCKS trim the per-thread-count and per-batch-size
 # streams to smoke length; COLD_START_BLOCKS=10000 trims the cold-start
 # sweep to its first point (the full 10k/50k/100k curve belongs to real
 # bench runs); CRITERION_JSON captures every median and metric into the
 # tracked perf-trajectory artifact.
 INGEST_SCALE_BLOCKS="${INGEST_SCALE_BLOCKS:-2000}" \
+BATCH_COMMIT_BLOCKS="${BATCH_COMMIT_BLOCKS:-2000}" \
 COLD_START_BLOCKS="${COLD_START_BLOCKS:-10000}" \
 CRITERION_JSON="$PWD/BENCH_ledger_scale.json" \
   cargo bench -p blockprov-bench --bench ledger_scale -- lookup
