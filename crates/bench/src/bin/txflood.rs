@@ -1,0 +1,325 @@
+//! `txflood`: flood a live `blockprov-node` with mixed-scenario traffic.
+//!
+//! One producer thread builds a pre-chained block stream on top of the
+//! node's current tip ([`blockprov_bench::flood`]) and POSTs it batch by
+//! batch; `NODE_FLOOD_QUERY_THREADS` client threads concurrently hammer
+//! the read endpoints (`/tip`, `/block`, `/tx`, `/provenance`, `/prove`)
+//! over keep-alive connections, restricted to heights the producer has
+//! already confirmed so every query has a well-defined answer.
+//!
+//! Backpressure `429`s are retried after the server's `Retry-After` and
+//! counted separately; any other non-2xx (or a failed read) is a hard
+//! failure and the process exits non-zero. Results merge into the tracked
+//! bench artifact through the criterion shim:
+//!
+//! ```text
+//! NODE_FLOOD_ADDR=127.0.0.1:7341 \
+//! CRITERION_JSON_MERGE=BENCH_ledger_scale.json \
+//! cargo run --release -p blockprov-bench --bin txflood
+//! ```
+//!
+//! Environment (all optional): `NODE_FLOOD_ADDR`, `NODE_FLOOD_BLOCKS`,
+//! `NODE_FLOOD_TXS` (per block), `NODE_FLOOD_BATCH` (blocks per POST),
+//! `NODE_FLOOD_QUERY_THREADS`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blockprov_bench::flood::{artifact_name, flood_blocks};
+use blockprov_crypto::sha256::Hash256;
+use blockprov_ledger::block::BlockHash;
+use blockprov_wire::{encode_seq, Writer};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A parsed response: status, `Retry-After` seconds if present, body.
+struct Reply {
+    status: u16,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl Conn {
+    fn open(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Reply> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: node\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut hline = String::new();
+            self.reader.read_line(&mut hline)?;
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim();
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => content_length = value.parse().unwrap_or(0),
+                    "retry-after" => retry_after = value.parse().ok(),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Reply {
+            status,
+            retry_after,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// Extract a `"key":"string"` value from a flat JSON body (the endpoints
+/// emit no nesting for the fields the flood needs).
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = body.find(&tag)? + tag.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+/// Extract a `"key":number` value.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = body.find(&tag)? + tag.len();
+    let digits: String = body[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Deterministic xorshift for the query mix.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn main() -> ExitCode {
+    let addr = std::env::var("NODE_FLOOD_ADDR").unwrap_or_else(|_| "127.0.0.1:7341".into());
+    let blocks = env_u64("NODE_FLOOD_BLOCKS", 2_000);
+    let txs_per_block = env_u64("NODE_FLOOD_TXS", 4);
+    let batch = env_u64("NODE_FLOOD_BATCH", 64).max(1) as usize;
+    let query_threads = env_u64("NODE_FLOOD_QUERY_THREADS", 3) as usize;
+
+    // Anchor the stream on the node's current tip.
+    let mut conn = match Conn::open(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("txflood: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tip = conn.request("GET", "/tip", b"").expect("GET /tip");
+    let tip_height = json_u64(&tip.body, "height").expect("tip height");
+    let tip_hash = json_str(&tip.body, "hash")
+        .and_then(|h| Hash256::from_hex(&h))
+        .map(BlockHash)
+        .expect("tip hash");
+    let tip_block = conn
+        .request("GET", &format!("/block/{tip_height}"), b"")
+        .expect("GET /block");
+    let tip_ts = json_u64(&tip_block.body, "timestamp_ms").expect("tip timestamp");
+
+    println!(
+        "txflood: {blocks} blocks x {txs_per_block} txs against {addr} \
+         (tip {tip_height}, batch {batch}, {query_threads} query threads)"
+    );
+    let stream = flood_blocks(tip_hash, tip_height, tip_ts, blocks, txs_per_block, 0);
+
+    // Tx ids per block (hex), so query threads only ask about confirmed txs.
+    let tx_ids: Arc<Vec<Vec<String>>> = Arc::new(
+        stream
+            .iter()
+            .map(|b| b.txs.iter().map(|tx| tx.id().0.to_hex()).collect())
+            .collect(),
+    );
+    let confirmed = Arc::new(AtomicU64::new(0)); // blocks of `stream` committed
+    let done = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    let queriers: Vec<_> = (0..query_threads)
+        .map(|k| {
+            let addr = addr.clone();
+            let tx_ids = Arc::clone(&tx_ids);
+            let confirmed = Arc::clone(&confirmed);
+            let done = Arc::clone(&done);
+            let failures = Arc::clone(&failures);
+            let base_height = tip_height;
+            std::thread::spawn(move || -> (Vec<u64>, Duration) {
+                let mut conn = match Conn::open(&addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        return (Vec::new(), Duration::from_secs(1));
+                    }
+                };
+                let mut rng = Rng(0x9e3779b97f4a7c15 ^ (k as u64 + 1));
+                let mut samples = Vec::new();
+                let started = Instant::now();
+                while !done.load(Ordering::Acquire) {
+                    let seen = confirmed.load(Ordering::Acquire);
+                    let path = match rng.next() % 5 {
+                        0 => "/tip".to_string(),
+                        1 => format!("/block/{}", rng.next() % (base_height + seen + 1)),
+                        2 if seen > 0 => {
+                            let b = (rng.next() % seen) as usize;
+                            let ids = &tx_ids[b];
+                            format!("/tx/{}", ids[(rng.next() as usize) % ids.len()])
+                        }
+                        3 if seen > 0 => {
+                            let b = (rng.next() % seen) as usize;
+                            let ids = &tx_ids[b];
+                            format!("/prove/{}", ids[(rng.next() as usize) % ids.len()])
+                        }
+                        _ => format!("/provenance/{}", artifact_name(rng.next() % 256)),
+                    };
+                    let t = Instant::now();
+                    match conn.request("GET", &path, b"") {
+                        Ok(reply) if reply.status == 200 => {
+                            samples.push(t.elapsed().as_nanos() as u64);
+                        }
+                        Ok(reply) => {
+                            eprintln!("txflood: GET {path} -> {}", reply.status);
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("txflood: GET {path} failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (samples, started.elapsed())
+            })
+        })
+        .collect();
+
+    // Producer: POST the stream batch by batch, retrying on backpressure.
+    let mut backpressure = 0u64;
+    let ingest_started = Instant::now();
+    'ingest: for (batch_idx, chunk) in stream.chunks(batch).enumerate() {
+        let mut w = Writer::new();
+        encode_seq(chunk, &mut w);
+        let body = w.into_bytes();
+        loop {
+            match conn.request("POST", "/blocks", &body) {
+                Ok(reply) if reply.status == 200 => {
+                    confirmed.store(
+                        (batch_idx * batch + chunk.len()) as u64,
+                        Ordering::Release,
+                    );
+                    break;
+                }
+                Ok(reply) if reply.status == 429 => {
+                    backpressure += 1;
+                    let wait = reply.retry_after.unwrap_or(1).min(5);
+                    std::thread::sleep(Duration::from_millis(wait * 100));
+                }
+                Ok(reply) => {
+                    eprintln!(
+                        "txflood: POST /blocks -> {} ({})",
+                        reply.status, reply.body
+                    );
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    break 'ingest;
+                }
+                Err(e) => {
+                    eprintln!("txflood: POST /blocks failed: {e}");
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    break 'ingest;
+                }
+            }
+        }
+    }
+    let ingest_elapsed = ingest_started.elapsed();
+    done.store(true, Ordering::Release);
+
+    let mut query_samples: Vec<u64> = Vec::new();
+    let mut query_ops_per_s = 0.0;
+    for handle in queriers {
+        let (samples, elapsed) = handle.join().expect("query thread");
+        query_ops_per_s += samples.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        query_samples.extend_from_slice(&samples);
+    }
+    query_samples.sort_unstable();
+
+    let ingested = confirmed.load(Ordering::Acquire);
+    let ingest_rate = ingested as f64 / ingest_elapsed.as_secs_f64().max(1e-9);
+    let p50 = percentile(&query_samples, 0.50);
+    let p99 = percentile(&query_samples, 0.99);
+    let failed = failures.load(Ordering::Relaxed);
+
+    println!(
+        "txflood: ingested {ingested}/{blocks} blocks at {ingest_rate:.0} blk/s \
+         ({backpressure} backpressure retries); \
+         {} queries at {query_ops_per_s:.0} ops/s (p50 {p50} ns, p99 {p99} ns); \
+         {failed} failed requests",
+        query_samples.len()
+    );
+
+    criterion::record_metric("node_flood/ingest_blk_per_s", ingest_rate, "blk/s");
+    criterion::record_metric("node_flood/query_ops_per_s", query_ops_per_s, "ops/s");
+    criterion::record_metric("node_flood/p50", p50 as f64, "ns");
+    criterion::record_metric("node_flood/p99", p99 as f64, "ns");
+    criterion::record_metric("node_flood/backpressure_429", backpressure as f64, "count");
+    criterion::finalize();
+
+    if failed > 0 || ingested != blocks {
+        eprintln!("txflood: FAILED ({failed} failures, {ingested}/{blocks} ingested)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -457,6 +457,17 @@ impl ProvenanceLedger {
         }
     }
 
+    /// Force a clean-shutdown sync: flush staged commits across every
+    /// durable tier and write the checkpoint snapshot the next open
+    /// fast-starts from.
+    ///
+    /// Dropping the ledger performs the same sync implicitly; long-running
+    /// services call this explicitly (e.g. on SIGTERM) so a durability
+    /// failure surfaces as an error instead of being swallowed by `Drop`.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.chain.sync_meta()
+    }
+
     /// The provenance DAG.
     pub fn graph(&self) -> &ProvGraph {
         &self.graph

@@ -15,7 +15,13 @@
 //!   appear on-chain only via pseudonymous subject ids. (Ciphertext-policy
 //!   attribute-based encryption from [59] is substituted by ABAC-gated
 //!   access to the off-chain store — see DESIGN.md §Substitutions.)
+//!
+//! Beyond the EHR domain, this crate also owns the workspace's *service*
+//! health surface: [`metrics`] provides the `Send + Sync` counters, gauges
+//! and latency histograms `blockprov-node` exposes on `GET /healthz` and
+//! `GET /metrics`.
 
+pub mod metrics;
 pub mod pandemic;
 pub mod search;
 

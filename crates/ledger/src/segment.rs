@@ -1480,6 +1480,17 @@ pub struct TieredReader {
     hot: Arc<HotTier>,
 }
 
+impl TieredReader {
+    /// `(hot hits, cold misses)` counters, aggregated across the writer and
+    /// every reader handle (the counters live in the shared hot tier).
+    pub fn tier_stats(&self) -> (u64, u64) {
+        (
+            self.hot.hits.load(Ordering::Relaxed),
+            self.hot.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 impl BlockReader for TieredReader {
     fn get(&self, hash: &BlockHash) -> Option<Arc<Block>> {
         self.hot.get(&self.cold, hash)

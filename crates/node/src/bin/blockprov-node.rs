@@ -1,0 +1,103 @@
+//! Deployable node entry point: parse flags, start the server, and drain
+//! gracefully on SIGTERM/SIGINT (queued ingest batches commit, then the
+//! clean-shutdown snapshot is written so the next start is a fast start).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use blockprov_node::{Node, NodeConfig};
+
+/// Set from the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// The process links libc through std already; declaring `signal` directly
+// avoids a registry dependency for one symbol. Handler installation is
+// best-effort — a failed install only costs graceful shutdown.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: blockprov-node [--addr HOST:PORT] [--data-dir DIR] [--queue N] \
+         [--finality N] [--ingest-threads N] [--hot-capacity N]\n\
+         \n\
+         --addr           listen address (default 127.0.0.1:7341)\n\
+         --data-dir       durable tier root; omit for an in-memory ledger\n\
+         --queue          ingest queue bound before 429s (default 64)\n\
+         --finality       finality checkpoint depth (default 16)\n\
+         --ingest-threads stateless-validation workers (default 4)\n\
+         --hot-capacity   hot block-cache capacity (default 1024)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7341");
+    let mut config = NodeConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(v) => v,
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--addr" => addr = value(&mut args),
+            "--data-dir" => config.data_dir = Some(PathBuf::from(value(&mut args))),
+            "--queue" => config.queue_capacity = parse(&value(&mut args)),
+            "--finality" => config.finality_depth = parse(&value(&mut args)),
+            "--ingest-threads" => config.ingest_threads = parse(&value(&mut args)),
+            "--hot-capacity" => config.hot_capacity = parse(&value(&mut args)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+
+    let mut node = match Node::start(&addr, config) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("blockprov-node: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The readiness line scripts wait for (the port resolves 0 → actual).
+    println!("blockprov-node listening on {}", node.addr());
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    eprintln!("blockprov-node: draining on signal");
+    match node.shutdown() {
+        Ok(()) => {
+            eprintln!("blockprov-node: clean shutdown (snapshot written)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("blockprov-node: shutdown sync failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    match s.parse() {
+        Ok(v) => v,
+        Err(_) => usage(),
+    }
+}

@@ -1,0 +1,123 @@
+//! A hand-rolled JSON *writer* (no parser): response bodies are built by
+//! chaining typed field appends, so the node never formats JSON by string
+//! concatenation in handler code.
+//!
+//! Only what the endpoints emit is supported — objects, arrays, strings,
+//! integers and booleans. Ingest request bodies are the ledger's binary
+//! wire codec, not JSON, so no parsing is needed anywhere.
+
+/// Escape and quote a string per RFC 8259.
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON object under construction; chain field appends, then
+/// [`Obj::build`].
+#[derive(Debug)]
+pub struct Obj {
+    out: String,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self {
+            out: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.out.len() > 1 {
+            self.out.push(',');
+        }
+        self.out.push_str(&str_lit(k));
+        self.out.push(':');
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.out.push_str(&str_lit(v));
+        self
+    }
+
+    /// Append an integer (or any `Display`-renders-as-JSON-number) field.
+    pub fn num<T: std::fmt::Display>(mut self, k: &str, v: T) -> Self {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Append a field whose value is already-serialized JSON.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.out.push_str(v);
+        self
+    }
+
+    /// Close the object.
+    pub fn build(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Serialize an iterator of already-serialized JSON values as an array.
+pub fn arr<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_shapes() {
+        let body = Obj::new()
+            .str("name", "a\"b\n")
+            .num("height", 42u64)
+            .bool("ok", true)
+            .raw("items", &arr(["1".to_string(), str_lit("x")]))
+            .build();
+        assert_eq!(
+            body,
+            "{\"name\":\"a\\\"b\\n\",\"height\":42,\"ok\":true,\"items\":[1,\"x\"]}"
+        );
+        assert_eq!(arr(Vec::<String>::new()), "[]");
+    }
+}

@@ -37,6 +37,12 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== docs: cargo doc --no-deps (warnings are errors) =="
+# The operator handbook (docs/OPERATIONS.md) leans on the API docs, so a
+# broken intra-doc link or malformed doc comment is a CI failure, not a
+# nightly surprise.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "== ingest pipeline equivalence: INGEST_THREADS=1 (inline commit path) =="
 INGEST_THREADS=1 cargo test -q -p blockprov-ledger --test ingest_equiv
 
@@ -95,5 +101,38 @@ MIXED_RW_BLOCKS="${MIXED_RW_BLOCKS:-1000}" \
 CRITERION_JSON_MERGE="$PWD/BENCH_ledger_scale.json" \
   cargo bench -p blockprov-bench --bench mixed_rw
 echo "perf artifact: BENCH_ledger_scale.json"
+
+echo "== node flood smoke: release blockprov-node + txflood over HTTP =="
+# End-to-end service check: start the release node on an ephemeral port
+# with a throwaway durable tier, flood it over real sockets with the
+# mixed-scenario txflood driver (one producer + query threads; any failed
+# request fails the driver), then SIGTERM the node and require the clean
+# drain + snapshot exit path. NODE_FLOOD_BLOCKS trims the flood to smoke
+# length; the node_flood/* metrics merge into the same tracked artifact.
+NODE_DATA_DIR="$(mktemp -d)"
+NODE_LOG="$(mktemp)"
+./target/release/blockprov-node --addr 127.0.0.1:0 --data-dir "$NODE_DATA_DIR" \
+  >"$NODE_LOG" 2>&1 &
+NODE_PID=$!
+NODE_ADDR=""
+for _ in $(seq 1 100); do
+  NODE_ADDR="$(sed -n 's/^blockprov-node listening on //p' "$NODE_LOG" | head -n 1)"
+  [ -n "$NODE_ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$NODE_ADDR" ]; then
+  echo "verify.sh: node failed to become ready" >&2
+  cat "$NODE_LOG" >&2
+  kill "$NODE_PID" 2>/dev/null || true
+  exit 1
+fi
+NODE_FLOOD_ADDR="$NODE_ADDR" \
+NODE_FLOOD_BLOCKS="${NODE_FLOOD_BLOCKS:-600}" \
+CRITERION_JSON_MERGE="$PWD/BENCH_ledger_scale.json" \
+  ./target/release/txflood
+kill -TERM "$NODE_PID"
+wait "$NODE_PID" # non-zero exit = drain/snapshot failure, fails the script
+cat "$NODE_LOG"
+rm -rf "$NODE_DATA_DIR" "$NODE_LOG"
 
 echo "verify.sh: all checks passed"
